@@ -1,0 +1,150 @@
+"""Micro-benchmarks of hot library operations.
+
+Unlike the T/F experiment regenerators (one-shot tables), these measure
+steady-state throughput of the primitives every query touches: matching,
+calibration, result merging, plan evaluation, reputation updates and the
+event kernel.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    CorpusGenerator,
+    DomainSpec,
+    FeatureExtractor,
+    InformationItem,
+    TopicSpace,
+    Vocabulary,
+)
+from repro.optimizer import CandidateAssignment, CandidatePlan, evaluate_plan
+from repro.qos import QoSVector, QoSWeights
+from repro.query import Query, QueryKind
+from repro.sim import RngStreams, Simulator
+from repro.trust import ReputationSystem
+from repro.uncertainty import (
+    BinnedCalibrator,
+    UncertainEstimate,
+    UncertainMatch,
+    UncertainResultSet,
+    build_matching_engine,
+)
+
+SEED = 79
+
+
+@pytest.fixture(scope="module")
+def world():
+    streams = RngStreams(SEED).spawn("micro")
+    space = TopicSpace(10)
+    vocabulary = Vocabulary(space, streams.spawn("v"), vocabulary_size=800)
+    corpus = CorpusGenerator(space, vocabulary, streams.spawn("c"),
+                             feature_dimensions=32)
+    extractor = FeatureExtractor(32, streams.spawn("f"))
+    spec = DomainSpec(name="museum", topic_prior={"folk-jewelry": 1.0})
+    media_spec = DomainSpec(
+        name="gallery", topic_prior={"folk-jewelry": 1.0},
+        type_mix={"text": 0.0, "media": 1.0, "compound": 0.0},
+    )
+    items = corpus.generate(spec, 120)
+    sample = corpus.generate(media_spec, 60)
+    engine = build_matching_engine(vocabulary, extractor, lifter_sample=sample)
+    return space, corpus, engine, items
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_matching_rank(benchmark, world):
+    space, corpus, engine, items = world
+    query_item = items[0]
+    pool = items[1:101]
+    ranked = benchmark(engine.rank, query_item, pool)
+    assert len(ranked) == 100
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_calibrator_predict(benchmark):
+    rng = np.random.default_rng(SEED)
+    scores = rng.random(2000)
+    labels = (rng.random(2000) < scores**2).astype(int)
+    calibrator = BinnedCalibrator().fit(scores, labels)
+    probe = rng.random(1000)
+    out = benchmark(calibrator.predict_many, probe)
+    assert out.shape == (1000,)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_result_merge(benchmark):
+    rng = np.random.default_rng(SEED)
+
+    def make_set(offset):
+        matches = [
+            UncertainMatch(
+                item=InformationItem(item_id=f"i{offset + j}", domain="d",
+                                     latent=np.array([1.0])),
+                score=float(rng.random()),
+                probability=float(rng.random()),
+            )
+            for j in range(200)
+        ]
+        return UncertainResultSet(matches)
+
+    a, b = make_set(0), make_set(100)  # 50% overlap
+    merged = benchmark(a.merge, b)
+    assert len(merged) == 300
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_plan_evaluation(benchmark):
+    query = Query(
+        kind=QueryKind.TOPIC, terms={"w00001": 3}, k=10,
+        intent_latent=np.array([1.0]),
+    )
+    rng = np.random.default_rng(SEED)
+    assignments = {}
+    for job in range(5):
+        subquery = query.restricted_to(f"d{job}")
+        assignments[subquery.subquery_id] = [
+            CandidateAssignment(
+                subquery=subquery, source_id=f"s{job}",
+                expected=QoSVector(response_time=float(rng.uniform(0.1, 5)),
+                                   completeness=float(rng.uniform(0.2, 1))),
+                cost=UncertainEstimate(mean=1.0, std=0.2, low=0, high=5),
+                breach_risk=float(rng.uniform(0, 0.4)),
+            )
+        ]
+    plan = CandidatePlan(assignments)
+    evaluation = benchmark(evaluate_plan, plan, QoSWeights())
+    assert 0.0 <= evaluation.utility <= 1.0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_reputation_updates(benchmark):
+    rng = np.random.default_rng(SEED)
+    outcomes = rng.random(1000)
+
+    def run():
+        system = ReputationSystem()
+        for index, outcome in enumerate(outcomes):
+            system.observe(f"s{index % 20}", float(outcome))
+        return system
+
+    system = benchmark(run)
+    assert len(system.known_subjects()) == 20
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_event_kernel(benchmark):
+    def run():
+        sim = Simulator(seed=1)
+        counter = {"n": 0}
+
+        def tick():
+            counter["n"] += 1
+            if counter["n"] < 5000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return counter["n"]
+
+    assert benchmark(run) == 5000

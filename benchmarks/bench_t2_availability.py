@@ -1,0 +1,82 @@
+"""T2 (§2 Uncertainty): result quality vs source availability.
+
+Regenerates the T2 table: sweep the fraction of sources that are up and
+measure delivered completeness, declined jobs, and consumer utility.
+Expected shape: completeness and utility fall as availability drops; the
+decline count rises.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Consumer, UserProfile, build_agora
+from repro.experiments import ExperimentResult, summarize
+from repro.workloads import QueryWorkloadGenerator
+
+AVAILABILITY_LEVELS = [1.0, 0.75, 0.5, 0.25]
+
+
+def run_t2(seed=23, n_sources=10, queries_per_level=10) -> ExperimentResult:
+    result = ExperimentResult(
+        "T2", "Delivered quality vs source availability",
+        ["availability", "global_recall", "utility", "declined_jobs", "served_jobs"],
+    )
+    for availability in AVAILABILITY_LEVELS:
+        agora = build_agora(seed=seed, n_sources=n_sources, items_per_source=12,
+                            calibration_pairs=200)
+        rng = np.random.default_rng(seed + int(availability * 100))
+        for node in agora.topology.nodes[:-1]:  # keep the consumer node up
+            agora.health.set_state(node, bool(rng.random() < availability))
+        workload = QueryWorkloadGenerator(
+            agora.topic_space, agora.vocabulary, agora.sim.rng.spawn("t2"),
+        )
+        profile = UserProfile(
+            user_id="t2-user",
+            interests=agora.topic_space.basis("folk-jewelry", 0.9),
+        )
+        consumer = Consumer(agora, profile, planner="trading")
+        recalls, utilities, declined, served = [], [], 0, 0
+        for index in range(queries_per_level):
+            topic = agora.topic_space.names[index % 5]
+            query = workload.topic_query(topic, k=15)
+            outcome = consumer.ask(query)
+            # Global recall: relevant returned / relevant anywhere in the
+            # agora (capped at k), regardless of which sources were up.
+            relevant_everywhere = set()
+            for source in agora.sources.values():
+                for item in source.visible_items(agora.now):
+                    if agora.oracle.is_relevant(query, item):
+                        relevant_everywhere.add(item.item_id)
+            relevant_found = sum(
+                1 for item in outcome.results.items()
+                if agora.oracle.is_relevant(query, item)
+            )
+            denominator = min(len(relevant_everywhere), query.k)
+            recalls.append(
+                relevant_found / denominator if denominator else 1.0
+            )
+            utilities.append(outcome.utility)
+            declined += len(outcome.declined_sources) + len(outcome.unserved_jobs)
+            served += len(outcome.contracts)
+        result.add_row(
+            availability,
+            summarize(recalls).mean,
+            summarize(utilities).mean,
+            declined,
+            served,
+        )
+    result.add_note("expected shape: quality degrades as sources disappear")
+    return result
+
+
+@pytest.mark.benchmark(group="T2")
+def test_t2_availability(benchmark):
+    result = benchmark.pedantic(run_t2, rounds=1, iterations=1)
+    result.print()
+    by_availability = {row[0]: row for row in result.rows}
+    assert by_availability[1.0][1] >= by_availability[0.25][1]  # completeness
+    assert by_availability[1.0][4] >= by_availability[0.25][4]  # served jobs
+
+
+if __name__ == "__main__":
+    run_t2().print()

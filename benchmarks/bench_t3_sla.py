@@ -1,0 +1,142 @@
+"""T3 (§3 QoS): SLA pricing policies under breach risk.
+
+Regenerates the T3 table: sweep the true breach probability of a service
+and compare pricing policies on (a) how well the charged premium tracks
+the actuarially fair price and (b) the consumer's net cost variance with
+vs without compensation.  Expected shape: the risk-priced premium grows
+linearly with breach probability while the flat premium stays constant;
+SLA compensation cuts the consumer's downside when breaches are common.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.qos import (
+    ContractMonitor,
+    FlatPricing,
+    QoSRequirement,
+    QoSVector,
+    RiskPricedPremium,
+    SLAContract,
+)
+
+BREACH_LEVELS = [0.05, 0.2, 0.4, 0.6]
+REQUIREMENT = QoSRequirement(min_completeness=0.8)
+GOOD = QoSVector(response_time=1.0, completeness=0.9)
+BAD = QoSVector(response_time=1.0, completeness=0.3)
+
+
+def _run_policy(policy, breach_probability, n_contracts, rng):
+    """Simulate ``n_contracts`` deliveries under one pricing policy."""
+    monitor = ContractMonitor()
+    net_costs = []
+    for index in range(n_contracts):
+        quote = policy.quote(REQUIREMENT, base_cost=1.0,
+                             breach_probability=breach_probability)
+        contract = SLAContract(
+            provider_id="provider", consumer_id="consumer",
+            requirement=REQUIREMENT,
+            base_price=quote.base_price, premium=quote.premium,
+            compensation=quote.compensation,
+        )
+        delivered = BAD if rng.random() < breach_probability else GOOD
+        outcome = monitor.settle(contract, delivered)
+        net_costs.append(outcome.consumer_net_cost)
+    return quote, monitor, np.asarray(net_costs)
+
+
+def run_t3(seed=5, n_contracts=400) -> ExperimentResult:
+    result = ExperimentResult(
+        "T3", "SLA premium pricing under breach risk",
+        ["breach_prob", "policy", "premium", "fair_premium",
+         "consumer_mean_cost", "consumer_cost_std", "provider_profit"],
+    )
+    for breach_probability in BREACH_LEVELS:
+        for policy_name, policy in [
+            ("flat", FlatPricing(margin=1.2, flat_premium=0.5)),
+            ("risk-priced", RiskPricedPremium(margin=1.2, loading=0.25)),
+        ]:
+            rng = np.random.default_rng(seed)
+            quote, monitor, net_costs = _run_policy(
+                policy, breach_probability, n_contracts, rng
+            )
+            fair = breach_probability * quote.compensation
+            ledger = monitor.ledger("provider")
+            result.add_row(
+                breach_probability,
+                policy_name,
+                quote.premium,
+                fair,
+                float(net_costs.mean()),
+                float(net_costs.std()),
+                ledger.revenue - n_contracts * 1.0,  # revenue minus cost
+            )
+    result.add_note(
+        "expected shape: risk-priced premium tracks fair price; flat premium "
+        "underprices high risk (provider loses money) and overprices low risk"
+    )
+    return result
+
+
+def run_t3_compensation(seed=5, n_contracts=400, value=3.0) -> ExperimentResult:
+    """Companion table: does compensation protect the consumer's downside?
+
+    Each delivery is worth ``value`` when clean and 0 when breached.  With
+    an SLA the consumer pays base+premium but receives compensation on
+    breach; without, it pays only the base price and eats the loss.  The
+    5th-percentile surplus is the downside-risk measure a risk-averse user
+    (§2, §5) cares about.
+    """
+    result = ExperimentResult(
+        "T3b", "Consumer surplus with vs without SLA compensation",
+        ["breach_prob", "mean_with_sla", "p5_with_sla",
+         "mean_without", "p5_without"],
+    )
+    for breach_probability in BREACH_LEVELS:
+        rng = np.random.default_rng(seed)
+        policy = RiskPricedPremium(margin=1.2, loading=0.25)
+        quote = policy.quote(REQUIREMENT, 1.0, breach_probability)
+        with_sla, without_sla = [], []
+        for __ in range(n_contracts):
+            breached = rng.random() < breach_probability
+            delivered_value = 0.0 if breached else value
+            compensation = quote.compensation if breached else 0.0
+            with_sla.append(delivered_value - quote.total + compensation)
+            without_sla.append(delivered_value - quote.base_price)
+        with_sla = np.asarray(with_sla)
+        without_sla = np.asarray(without_sla)
+        result.add_row(
+            breach_probability,
+            float(with_sla.mean()), float(np.percentile(with_sla, 5)),
+            float(without_sla.mean()), float(np.percentile(without_sla, 5)),
+        )
+    result.add_note(
+        "expected shape: compensation floors the 5th-percentile surplus; "
+        "without an SLA the downside collapses as breaches rise"
+    )
+    return result
+
+
+@pytest.mark.benchmark(group="T3")
+def test_t3_sla(benchmark):
+    result = benchmark.pedantic(run_t3, rounds=1, iterations=1)
+    result.print()
+    companion = run_t3_compensation()
+    companion.print()
+    # Compensation floors the downside at every breach level.
+    for row in companion.rows:
+        assert row[2] > row[4]
+    rows = {(row[0], row[1]): row for row in result.rows}
+    # Risk-priced premium tracks the fair price within the loading factor.
+    for breach_probability in BREACH_LEVELS:
+        premium = rows[(breach_probability, "risk-priced")][2]
+        fair = rows[(breach_probability, "risk-priced")][3]
+        assert premium == pytest.approx(fair * 1.25, rel=1e-6)
+    # Flat pricing loses provider money at high risk, risk-priced does not.
+    assert rows[(0.6, "flat")][6] < rows[(0.6, "risk-priced")][6]
+
+
+if __name__ == "__main__":
+    run_t3().print()
+    run_t3_compensation().print()

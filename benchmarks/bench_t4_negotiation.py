@@ -1,0 +1,135 @@
+"""T4 (§4 Negotiation): strategy tournament.
+
+Regenerates the T4 tables: a round-robin tournament of the five concession
+strategies over many bilateral encounters with randomised stakes.  Reports
+deal rate, mean utility earned (as buyer), and mean rounds to agreement.
+Expected shape: Boulware extracts more utility than Conceder when a deal
+happens, but Firm-vs-Firm fails; Conceder agrees fastest.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentResult, summarize
+from repro.negotiation import (
+    AlternatingOffersProtocol,
+    NegotiationPreferences,
+    Negotiator,
+    buyer_utility,
+    seller_utility,
+    standard_qos_issue_space,
+    standard_strategy_suite,
+)
+
+SPACE = standard_qos_issue_space(max_price=10.0, max_response_time=10.0)
+
+
+def _random_weights(rng):
+    return {name: float(rng.uniform(0.5, 2.0)) for name in SPACE.names}
+
+
+def run_t4(seed=17, encounters=40, max_rounds=30) -> ExperimentResult:
+    strategies = standard_strategy_suite()
+    protocol = AlternatingOffersProtocol(max_rounds=max_rounds)
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        "T4", "Negotiation strategy tournament (row = buyer strategy)",
+        ["buyer_strategy", "deal_rate", "mean_buyer_utility",
+         "mean_seller_utility", "mean_rounds"],
+    )
+    for buyer_strategy in strategies:
+        deals, buyer_utilities, seller_utilities, rounds = [], [], [], []
+        for seller_strategy in strategies:
+            for __ in range(encounters // len(strategies)):
+                reservation = float(rng.uniform(0.15, 0.35))
+                buyer = Negotiator(
+                    "buyer",
+                    NegotiationPreferences(
+                        buyer_utility(SPACE, _random_weights(rng)), reservation,
+                    ),
+                    buyer_strategy,
+                )
+                seller = Negotiator(
+                    "seller",
+                    NegotiationPreferences(
+                        seller_utility(SPACE, _random_weights(rng)), reservation,
+                    ),
+                    seller_strategy,
+                )
+                outcome = protocol.run(buyer, seller)
+                deals.append(1.0 if outcome.agreed else 0.0)
+                rounds.append(outcome.rounds)
+                if outcome.agreed:
+                    buyer_utilities.append(outcome.buyer_utility)
+                    seller_utilities.append(outcome.seller_utility)
+        result.add_row(
+            buyer_strategy.name,
+            summarize(deals).mean,
+            summarize(buyer_utilities).mean,
+            summarize(seller_utilities).mean,
+            summarize(rounds).mean,
+        )
+    result.add_note(
+        "expected shape: boulware wins on utility-per-deal, conceder on "
+        "deal rate and speed; firm risks no-deal"
+    )
+    return result
+
+
+def run_t4_head_to_head(seed=17, encounters=60, max_rounds=40) -> ExperimentResult:
+    """Boulware vs Conceder head-to-head (the canonical asymmetry)."""
+    from repro.negotiation import boulware, conceder
+
+    protocol = AlternatingOffersProtocol(max_rounds=max_rounds)
+    rng = np.random.default_rng(seed)
+    result = ExperimentResult(
+        "T4b", "Boulware vs Conceder head-to-head",
+        ["matchup", "deal_rate", "boulware_side_utility", "conceder_side_utility"],
+    )
+    for label, buyer_is_boulware in [("boulware buyer", True), ("boulware seller", False)]:
+        deals, boulware_u, conceder_u = [], [], []
+        for __ in range(encounters):
+            buyer = Negotiator(
+                "buyer",
+                NegotiationPreferences(buyer_utility(SPACE, _random_weights(rng)), 0.2),
+                boulware() if buyer_is_boulware else conceder(),
+            )
+            seller = Negotiator(
+                "seller",
+                NegotiationPreferences(seller_utility(SPACE, _random_weights(rng)), 0.2),
+                conceder() if buyer_is_boulware else boulware(),
+            )
+            outcome = protocol.run(buyer, seller)
+            deals.append(1.0 if outcome.agreed else 0.0)
+            if outcome.agreed:
+                if buyer_is_boulware:
+                    boulware_u.append(outcome.buyer_utility)
+                    conceder_u.append(outcome.seller_utility)
+                else:
+                    boulware_u.append(outcome.seller_utility)
+                    conceder_u.append(outcome.buyer_utility)
+        result.add_row(
+            label, summarize(deals).mean,
+            summarize(boulware_u).mean, summarize(conceder_u).mean,
+        )
+    result.add_note("expected shape: the boulware side wins on both sides of the table")
+    return result
+
+
+@pytest.mark.benchmark(group="T4")
+def test_t4_negotiation(benchmark):
+    result = benchmark.pedantic(run_t4, rounds=1, iterations=1)
+    result.print()
+    head_to_head = run_t4_head_to_head()
+    head_to_head.print()
+    rows = {row[0]: row for row in result.rows}
+    # Conceder reaches more deals than firm.
+    assert rows["conceder"][1] >= rows["firm"][1]
+    # The boulware side extracts more utility in the head-to-head.
+    for row in head_to_head.rows:
+        assert row[2] > row[3]
+
+
+if __name__ == "__main__":
+    run_t4().print()
+    run_t4_head_to_head().print()

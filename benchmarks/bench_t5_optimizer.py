@@ -1,0 +1,150 @@
+"""T5 (§4 Optimization): multi-objective plan search vs naive baselines.
+
+Regenerates the T5 table: over randomly generated candidate markets
+(jobs × sources with varied quality/cost/risk), compare the exhaustive,
+local-search and greedy planners against random / cost-greedy /
+quality-greedy / round-robin baselines on mean utility, mean regret
+(vs the exhaustive optimum) and Pareto-front size.  Expected shape:
+exhaustive ≥ local ≥ greedy > every baseline.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import TextDocument
+from repro.experiments import ExperimentResult, summarize
+from repro.optimizer import (
+    CandidateAssignment,
+    EvolutionarySearch,
+    ExhaustiveSearch,
+    GreedySearch,
+    LocalSearch,
+    baseline_suite,
+    make_evaluator,
+    pareto_front,
+    regret,
+)
+from repro.qos import QoSVector, QoSWeights
+from repro.query import Query, QueryKind
+from repro.sim import RngStreams
+from repro.uncertainty import UncertainEstimate
+
+
+def _random_table(rng, n_jobs, n_sources):
+    query = Query(
+        kind=QueryKind.SIMILARITY,
+        reference_item=TextDocument(
+            item_id=f"ref-{rng.integers(1 << 30)}", domain="museum",
+            latent=np.array([1.0]), terms={"w00001": 1},
+        ),
+    )
+    table = {}
+    for job_index in range(n_jobs):
+        subquery = query.restricted_to(f"domain-{job_index}")
+        candidates = []
+        for source_index in range(n_sources):
+            response_time = float(rng.uniform(0.2, 8.0))
+            # Fast sources are shallow: completeness correlates with the
+            # time a source invests, plus idiosyncratic noise — the
+            # trade-off that makes planning a genuine multi-objective
+            # problem (a cost-greedy baseline picks shallow sources).
+            depth = response_time / 8.0
+            completeness = float(np.clip(
+                0.15 + 0.7 * depth + rng.normal(0, 0.12), 0.05, 1.0,
+            ))
+            candidates.append(CandidateAssignment(
+                subquery=subquery,
+                source_id=f"s{source_index}",
+                expected=QoSVector(
+                    response_time=response_time,
+                    completeness=completeness,
+                    freshness=float(rng.uniform(0.3, 1.0)),
+                    correctness=float(rng.uniform(0.5, 1.0)),
+                    trust=float(rng.uniform(0.3, 1.0)),
+                ),
+                cost=UncertainEstimate(
+                    mean=response_time, std=0.2 * response_time,
+                    low=0.0, high=4 * response_time,
+                ),
+                breach_risk=0.0,  # risk-aware choice is ablated in A-experiments
+            ))
+        table[subquery.subquery_id] = candidates
+    return table
+
+
+def run_t5(seed=29, trials=15, n_jobs=4, n_sources=6) -> ExperimentResult:
+    rng = np.random.default_rng(seed)
+    evaluator = make_evaluator(QoSWeights(), price_sensitivity=0.02)
+    evolutionary = EvolutionarySearch(
+        RngStreams(seed).spawn("t5-evo"), population_size=16, generations=15,
+    )
+    planners = {
+        "exhaustive": lambda table: ExhaustiveSearch().search(table, evaluator).best,
+        "local": lambda table: LocalSearch().search(table, evaluator).best,
+        "evolutionary": lambda table: evolutionary.search(table, evaluator).best,
+        "greedy": lambda table: GreedySearch().search(table, evaluator).best,
+    }
+    baselines = {
+        planner.name: planner
+        for planner in baseline_suite(RngStreams(seed).spawn("t5"))
+    }
+    utilities = {name: [] for name in list(planners) + list(baselines)}
+    regrets = {name: [] for name in utilities}
+    front_sizes = []
+    for __ in range(trials):
+        table = _random_table(rng, n_jobs, n_sources)
+        exhaustive = ExhaustiveSearch().search(table, evaluator)
+        all_evaluations = exhaustive.front
+        front_sizes.append(len(pareto_front(all_evaluations)))
+        reference = [exhaustive.best]
+        for name, plan_fn in planners.items():
+            evaluation = plan_fn(table)
+            utilities[name].append(evaluation.utility)
+            regrets[name].append(
+                max(0.0, exhaustive.best.utility - evaluation.utility)
+            )
+        for name, planner in baselines.items():
+            evaluation = evaluator(planner.plan(table))
+            utilities[name].append(evaluation.utility)
+            regrets[name].append(
+                max(0.0, exhaustive.best.utility - evaluation.utility)
+            )
+    result = ExperimentResult(
+        "T5", "Plan search vs baselines (random candidate markets)",
+        ["planner", "mean_utility", "mean_regret", "win_vs_random"],
+    )
+    random_utilities = utilities["random"]
+    for name in ["exhaustive", "local", "evolutionary", "greedy",
+                 "quality-greedy", "cost-greedy", "round-robin", "random"]:
+        wins = sum(
+            1 for mine, theirs in zip(utilities[name], random_utilities)
+            if mine > theirs
+        )
+        result.add_row(
+            name,
+            summarize(utilities[name]).mean,
+            summarize(regrets[name]).mean,
+            wins / len(random_utilities),
+        )
+    result.add_note(
+        f"mean Pareto-front size over the plan space: "
+        f"{np.mean(front_sizes):.1f} plans (multi-objective structure exists)"
+    )
+    return result
+
+
+@pytest.mark.benchmark(group="T5")
+def test_t5_optimizer(benchmark):
+    result = benchmark.pedantic(run_t5, rounds=1, iterations=1)
+    result.print()
+    rows = {row[0]: row for row in result.rows}
+    assert rows["exhaustive"][2] == 0.0  # zero regret by construction
+    assert rows["local"][1] >= rows["greedy"][1] - 1e-9
+    assert rows["evolutionary"][1] >= 0.9 * rows["exhaustive"][1]
+    assert rows["greedy"][1] > rows["random"][1]
+    assert rows["exhaustive"][1] > rows["cost-greedy"][1]
+    assert rows["exhaustive"][1] > rows["quality-greedy"][1]
+
+
+if __name__ == "__main__":
+    run_t5().print()

@@ -1,0 +1,120 @@
+"""T8 (§7 Collaboration): group coverage and MQO savings vs group size.
+
+Regenerates the T8 table: groups of 1..4 members (with diverse angles on
+a shared goal) run rounds of queries; we measure how much of the
+reachable relevant pool the shared workspace covers after each round, how
+many rounds it takes to reach 30% coverage, and how much execution the
+multi-query optimizer saves.  Expected shape: bigger groups cover more,
+faster; MQO savings grow with group size.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Consumer, UserProfile, build_agora
+from repro.collaboration import CollaborationSession, SharedJobExecutor
+from repro.experiments import ExperimentResult
+from repro.query import ExecutionContext
+from repro.workloads import QueryWorkloadGenerator
+
+GOAL_TOPIC = "regional-history"
+ANGLES = ["regional-history", "folk-jewelry", "dance-forms", "traditional-costume"]
+
+
+def _relevant_pool(agora, query):
+    seen = set()
+    for source in agora.sources.values():
+        for item in source.visible_items(agora.now):
+            if agora.oracle.is_relevant(query, item):
+                seen.add(item.item_id)
+    return seen
+
+
+def run_t8(seed=53, rounds=4, coverage_target=0.3) -> ExperimentResult:
+    result = ExperimentResult(
+        "T8", "Group coverage and shared work vs group size",
+        ["group_size", "coverage_after_rounds", "rounds_to_30pct",
+         "mqo_savings_ratio"],
+    )
+    for group_size in (1, 2, 3, 4):
+        agora = build_agora(seed=seed, n_sources=10, items_per_source=30,
+                            calibration_pairs=200)
+        space = agora.topic_space
+        workload = QueryWorkloadGenerator(
+            space, agora.vocabulary, agora.sim.rng.spawn("t8-q"),
+        )
+        goal_query = workload.topic_query(GOAL_TOPIC, k=10)
+        relevant = _relevant_pool(agora, goal_query)
+        session = CollaborationSession(goal_latent=goal_query.intent_latent)
+        consumers = {}
+        for index in range(group_size):
+            angle = ANGLES[index % len(ANGLES)]
+            profile = UserProfile(
+                user_id=f"member-{index}",
+                interests=0.6 * space.basis(GOAL_TOPIC, 0.9)
+                + 0.4 * space.basis(angle, 0.9),
+            )
+            session.add_member(profile)
+            consumers[profile.user_id] = Consumer(agora, profile, planner="greedy")
+        rounds_to_target = None
+        coverage = 0.0
+        savings = []
+        context = ExecutionContext(
+            registry=agora.registry, oracle=agora.oracle,
+            calibrator=agora.calibrator if agora.calibrator.is_fitted else None,
+            consumer_id="group",
+        )
+        mqo = SharedJobExecutor(context)
+        for round_index in range(rounds):
+            # Each round the group re-queries the *shared* goal — those
+            # jobs overlap across members and the MQO runs them once —
+            # while each member also explores from their personal angle.
+            round_goal = workload.topic_query(GOAL_TOPIC, k=12)
+            plans, queries = {}, {}
+            for user_id, consumer in consumers.items():
+                goal_plan, __, __u = consumer.plan_query(round_goal)
+                personal = workload.interest_query(
+                    consumer.active_profile(), k=12, sharpen=1.5,
+                )
+                personal_plan, __, __u = consumer.plan_query(personal)
+                if goal_plan is not None:
+                    plans[f"{user_id}#goal"] = goal_plan
+                    queries[f"{user_id}#goal"] = round_goal
+                if personal_plan is not None:
+                    plans[f"{user_id}#angle"] = personal_plan
+                    queries[f"{user_id}#angle"] = personal
+            shared = mqo.execute(plans, queries)
+            savings.append(shared.report.savings_ratio)
+            for key, results in shared.member_results.items():
+                member_id = key.split("#")[0]
+                session.record_results(member_id, results)
+            coverage = session.group_coverage(
+                agora.oracle, goal_query, len(relevant),
+            )
+            if rounds_to_target is None and coverage >= coverage_target:
+                rounds_to_target = round_index + 1
+        result.add_row(
+            group_size,
+            coverage,
+            rounds_to_target if rounds_to_target is not None else f">{rounds}",
+            float(np.mean(savings)),
+        )
+    result.add_note(
+        "expected shape: coverage grows with group size; larger groups "
+        "share more retrieval work"
+    )
+    return result
+
+
+@pytest.mark.benchmark(group="T8")
+def test_t8_collaboration(benchmark):
+    result = benchmark.pedantic(run_t8, rounds=1, iterations=1)
+    result.print()
+    coverage = {row[0]: row[1] for row in result.rows}
+    assert coverage[4] >= coverage[1]
+    savings = {row[0]: row[3] for row in result.rows}
+    assert savings[4] >= savings[1]
+
+
+if __name__ == "__main__":
+    run_t8().print()

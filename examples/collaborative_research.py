@@ -1,0 +1,112 @@
+"""Collaborative research: a group shops for information together.
+
+Demonstrates §7: Iris, Jason and Maria pursue a common goal (European folk
+art) under their individual profiles.  Everyone's results pool into a
+shared workspace, members pick up each other's threads, and the
+multi-query optimizer executes overlapping retrieval jobs only once.
+
+Run with:  python examples/collaborative_research.py
+"""
+
+import numpy as np
+
+from repro import Consumer, UserProfile, build_agora
+from repro.collaboration import CollaborationSession, SharedJobExecutor
+from repro.query import ExecutionContext
+from repro.workloads import QueryWorkloadGenerator
+
+
+def main() -> None:
+    agora = build_agora(seed=77, n_sources=10, items_per_source=40)
+    space = agora.topic_space
+    workload = QueryWorkloadGenerator(
+        agora.topic_space, agora.vocabulary, agora.sim.rng.spawn("collab"),
+    )
+
+    # Three researchers with one goal, three different angles.
+    members = {
+        "iris": UserProfile(user_id="iris",
+                            interests=space.basis("folk-jewelry", 0.9)),
+        "jason": UserProfile(user_id="jason",
+                             interests=space.basis("dance-forms", 0.9)),
+        "maria": UserProfile(user_id="maria",
+                             interests=space.basis("traditional-costume", 0.9)),
+    }
+    goal = space.basis("regional-history", 0.5)
+    session = CollaborationSession(goal_latent=goal)
+    consumers = {}
+    for user_id, profile in members.items():
+        session.add_member(profile)
+        consumers[user_id] = Consumer(agora, profile, planner="greedy")
+
+    # ------------------------------------------------------------------
+    print("=== Round 1: everyone explores from their own angle ===")
+    goal_query = workload.topic_query("regional-history", k=12)
+    member_topics = {
+        "iris": "folk-jewelry", "jason": "dance-forms",
+        "maria": "traditional-costume",
+    }
+    threads = {}
+    for user_id, topic in member_topics.items():
+        query = workload.topic_query(topic, k=12, issuer_id=user_id)
+        threads[user_id] = session.start_thread(user_id, query)
+        result = consumers[user_id].ask(query)
+        new = session.record_results(user_id, result.results,
+                                     thread_id=threads[user_id].thread_id)
+        print(f"  {user_id} ({topic}): {len(result.results)} results, "
+              f"{new} new to the workspace")
+
+    print(f"  workspace now holds {len(session.workspace)} distinct items")
+    print(f"  contribution balance: {session.contribution_balance()}")
+
+    # ------------------------------------------------------------------
+    print("\n=== Round 2: Maria picks up Iris's thread ===")
+    continued = threads["iris"].pick_up("maria")
+    result = consumers["maria"].ask(continued)
+    new = session.record_results("maria", result.results,
+                                 thread_id=threads["iris"].thread_id)
+    print(f"  maria re-ran Iris's query under her own profile: "
+          f"{new} new items (thread takeovers: {threads['iris'].taken_over_by})")
+
+    # ------------------------------------------------------------------
+    print("\n=== Multi-query optimization: shared jobs run once ===")
+    shared_query = workload.topic_query("regional-history", k=10)
+    context = ExecutionContext(
+        registry=agora.registry, oracle=agora.oracle,
+        calibrator=agora.calibrator if agora.calibrator.is_fitted else None,
+        consumer_id="group",
+    )
+    mqo = SharedJobExecutor(context)
+    # Each member plans the same goal query; plans overlap heavily.
+    plans, queries = {}, {}
+    for user_id, consumer in consumers.items():
+        plan, __, __unserved = consumer.plan_query(shared_query)
+        plans[user_id] = plan
+        queries[user_id] = shared_query
+    shared = mqo.execute(plans, queries)
+    report = shared.report
+    print(f"  {report.total_jobs} jobs across {len(plans)} members, "
+          f"{report.distinct_jobs} distinct → "
+          f"{report.jobs_saved} executions saved "
+          f"({report.savings_ratio:.0%})")
+
+    # ------------------------------------------------------------------
+    print("\n=== Group coverage vs solo coverage ===")
+    reachable_relevant = 0
+    seen = set()
+    for source in agora.sources.values():
+        for item in source.visible_items(agora.now):
+            if item.item_id not in seen and agora.oracle.is_relevant(goal_query, item):
+                seen.add(item.item_id)
+                reachable_relevant += 1
+    coverage = session.group_coverage(agora.oracle, goal_query,
+                                      reachable_relevant)
+    solo = len(session.workspace.contributions_by("iris"))
+    print(f"  relevant items reachable in the agora: {reachable_relevant}")
+    print(f"  group coverage: {coverage:.0%} "
+          f"(iris alone contributed {solo} of "
+          f"{len(session.workspace)} workspace items)")
+
+
+if __name__ == "__main__":
+    main()

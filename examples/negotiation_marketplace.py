@@ -1,0 +1,103 @@
+"""Negotiation marketplace: bargaining, contract nets, subcontracting.
+
+Demonstrates §3-§4 of the paper: bilateral alternating-offers bargaining
+between concession strategies, risk-priced SLA premiums, a contract-net
+auction over live sources, and an intermediary reselling capacity with a
+margin.
+
+Run with:  python examples/negotiation_marketplace.py
+"""
+
+from repro import QoSRequirement, QoSWeights, build_agora
+from repro.negotiation import (
+    AlternatingOffersProtocol,
+    CallForProposals,
+    ContractNetProtocol,
+    Intermediary,
+    NegotiationPreferences,
+    Negotiator,
+    boulware,
+    buyer_utility,
+    conceder,
+    consumer_bid_score,
+    linear,
+    seller_utility,
+    standard_qos_issue_space,
+)
+from repro.optimizer import SourceBidder
+from repro.qos import RiskPricedPremium
+
+
+def bilateral_bargaining() -> None:
+    print("=== Bilateral alternating-offers bargaining ===")
+    space = standard_qos_issue_space(max_price=10.0)
+    protocol = AlternatingOffersProtocol(max_rounds=40)
+    matchups = [
+        ("boulware buyer vs conceder seller", boulware(), conceder()),
+        ("conceder buyer vs boulware seller", conceder(), boulware()),
+        ("linear vs linear", linear(), linear()),
+    ]
+    for label, buyer_strategy, seller_strategy in matchups:
+        buyer = Negotiator("buyer", NegotiationPreferences(buyer_utility(space)),
+                           buyer_strategy)
+        seller = Negotiator("seller", NegotiationPreferences(seller_utility(space)),
+                            seller_strategy)
+        outcome = protocol.run(buyer, seller)
+        if outcome.agreed:
+            print(f"  {label}: deal in {outcome.rounds} rounds — "
+                  f"buyer u={outcome.buyer_utility:.2f}, "
+                  f"seller u={outcome.seller_utility:.2f}, "
+                  f"price={outcome.deal['price']:.2f}")
+        else:
+            print(f"  {label}: NO deal after {outcome.rounds} rounds")
+
+
+def contract_net_market() -> None:
+    print("\n=== Contract-net auction over live sources ===")
+    agora = build_agora(seed=99, n_sources=8, items_per_source=40)
+    bidders = [
+        SourceBidder(source, pricing=RiskPricedPremium())
+        for __, source in sorted(agora.sources.items())
+        if "museum" in source.domains
+    ]
+    cfp = CallForProposals(
+        job_id="jewelry-hunt", domain="museum",
+        requirement=QoSRequirement(min_completeness=0.3, min_correctness=0.5),
+        consumer_id="iris",
+    )
+    protocol = ContractNetProtocol(consumer_bid_score(QoSWeights()))
+    outcome = protocol.run(cfp, bidders)
+    print(f"  {outcome.bidders} sources bid for the job")
+    for proposal in sorted(outcome.proposals, key=lambda p: p.total_price):
+        marker = "  <- awarded" if proposal is outcome.awarded else ""
+        print(f"  {proposal.provider_id}: total {proposal.total_price:.3f} "
+              f"(premium {proposal.quote.premium:.3f}){marker}")
+
+    # Subcontracting: a broker resells the same market with a 30% margin.
+    print("\n=== Subcontracting through an intermediary ===")
+    broker = Intermediary(
+        "broker-hermes", bidders,
+        ContractNetProtocol(consumer_bid_score(QoSWeights())), margin=0.3,
+    )
+    outer = ContractNetProtocol(consumer_bid_score(QoSWeights(),
+                                                   price_sensitivity=0.001))
+    outer.on_award(broker.on_award)
+    broker_only = outer.run(cfp, [broker])
+    if broker_only.awarded is not None:
+        record = broker.records[-1]
+        print(f"  broker wins when it is the only seller: pays "
+              f"{record.inner.total_price:.3f} downstream "
+              f"({record.inner.provider_id}), charges "
+              f"{record.outer.total_price:.3f}, margin "
+              f"{record.margin_earned:.3f}")
+    mixed = ContractNetProtocol(consumer_bid_score(QoSWeights())).run(
+        cfp, bidders + [broker]
+    )
+    print(f"  with direct sources in the market the award goes to: "
+          f"{mixed.awarded.provider_id} (brokers cannot beat their own "
+          f"suppliers on price)")
+
+
+if __name__ == "__main__":
+    bilateral_bargaining()
+    contract_net_market()

@@ -1,0 +1,58 @@
+"""Quickstart: build an agora, shop for information, inspect the deal.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import Consumer, QoSRequirement, UserProfile, build_agora
+from repro.workloads import QueryWorkloadGenerator
+
+
+def main() -> None:
+    # An agora with 8 independent sources over the five Iris domains.
+    agora = build_agora(seed=42, n_sources=8, items_per_source=40)
+    print(f"Built {agora}")
+    print(f"Domains on offer: {', '.join(agora.available_domains())}")
+
+    # A consumer who cares about folk jewelry and result completeness.
+    profile = UserProfile(
+        user_id="quickstart-user",
+        interests=agora.topic_space.basis("folk-jewelry", weight=0.9),
+    )
+    consumer = Consumer(agora, profile, planner="trading")
+
+    # A topic query with a QoS requirement — the consumer will negotiate
+    # SLA contracts with sources to serve it.
+    workload = QueryWorkloadGenerator(
+        agora.topic_space, agora.vocabulary, agora.sim.rng.spawn("quickstart"),
+    )
+    query = workload.topic_query(
+        "folk-jewelry", k=8,
+        requirement=QoSRequirement(min_completeness=0.2, min_correctness=0.5),
+    )
+
+    result = consumer.ask(query)
+
+    print(f"\nQuery served by {len(result.contracts)} SLA contract(s); "
+          f"total price {result.total_price:.2f}")
+    for contract in result.contracts:
+        print(f"  - {contract.provider_id}: base {contract.base_price:.2f} "
+              f"+ premium {contract.premium:.2f} "
+              f"(compensation {contract.compensation:.2f} on breach)")
+
+    print(f"\nDelivered QoS: completeness={result.delivered.completeness:.2f} "
+          f"correctness={result.delivered.correctness:.2f} "
+          f"freshness={result.delivered.freshness:.2f} "
+          f"response_time={result.delivered.response_time:.2f}")
+    print(f"Breached contracts: {result.breached_contracts} "
+          f"(net cost after compensation: {result.net_cost:.2f})")
+    print(f"Consumer utility: {result.utility:.3f}")
+
+    print(f"\nTop results (personalized ranking):")
+    for item in result.ranked_items[:5]:
+        relevance = agora.oracle.relevance(query, item)
+        print(f"  [{item.domain:>12}] {item.item_id}  "
+              f"(true relevance {relevance:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""Resilient shopping: surviving an unreliable agora.
+
+Demonstrates the machinery the paper's §2-§3 uncertainty story demands
+when things actually go wrong:
+
+1. the asynchronous marketplace — trading happens as messages over the
+   simulated overlay, and bids can miss the deadline;
+2. adaptive re-execution — a contracted source goes dark between planning
+   and execution and the job is re-assigned on the fly;
+3. requirement relaxation — the market refuses Iris's strict terms until
+   she trades quality for service;
+4. socialized trust — Jason's bad experience with a source warns Iris off
+   before she gets burned herself.
+
+Run with:  python examples/resilient_shopping.py
+"""
+
+from repro import Consumer, QoSRequirement, QoSWeights, UserProfile, build_agora
+from repro.core import AsyncMarketplace
+from repro.query import (
+    AdaptiveExecutor,
+    ExecutionContext,
+    fallbacks_from_registry,
+)
+from repro.social import AffineNeighbour, SocialTrustView
+from repro.trust import ReputationSystem
+from repro.workloads import QueryWorkloadGenerator
+
+
+def main() -> None:
+    agora = build_agora(seed=404, n_sources=10, items_per_source=30)
+    workload = QueryWorkloadGenerator(
+        agora.topic_space, agora.vocabulary, agora.sim.rng.spawn("resilient"),
+    )
+    profile = UserProfile(
+        user_id="iris",
+        interests=agora.topic_space.basis("folk-jewelry", 0.9),
+    )
+    consumer = Consumer(agora, profile, planner="trading")
+
+    # ------------------------------------------------------------------
+    print("=== 1. Trading over the wire (asynchronous marketplace) ===")
+    marketplace = AsyncMarketplace(agora)
+    outcomes = []
+    query = workload.topic_query(
+        "folk-jewelry", k=8, issuer_id="iris",
+        requirement=QoSRequirement(min_completeness=0.15),
+    )
+    marketplace.negotiate(query, QoSWeights(), outcomes.append,
+                          bid_deadline=2.0)
+    agora.run(until=agora.now + 10.0)
+    negotiated = outcomes[0]
+    print(f"  {marketplace.bids_received} bids arrived in time, "
+          f"{marketplace.bids_late} too late; "
+          f"{len(negotiated.contracts)} contracts signed")
+
+    # ------------------------------------------------------------------
+    print("\n=== 2. A contracted source goes dark: adaptive execution ===")
+    victim = negotiated.plan.leaves()[0].source_id
+    agora.health.set_state(agora.registry.source(victim).node_id, False)
+    print(f"  {victim} went down after signing!")
+    context = ExecutionContext(
+        registry=agora.registry, oracle=agora.oracle,
+        calibrator=agora.calibrator if agora.calibrator.is_fitted else None,
+        now=agora.now, consumer_id="iris",
+    )
+    adaptive = AdaptiveExecutor(
+        context, fallbacks_from_registry(agora.registry, consumer.reputation),
+    )
+    result = adaptive.execute(negotiated.plan, query)
+    for move in result.reassignments:
+        print(f"  job {move.job_id}: {move.from_source} -> {move.to_source}")
+    print(f"  recovered: {result.recovered} "
+          f"({len(result.final.results)} results)")
+    agora.health.set_state(agora.registry.source(victim).node_id, True)
+
+    # ------------------------------------------------------------------
+    print("\n=== 3. The market refuses strict terms: relaxation ===")
+    strict = workload.topic_query(
+        "folk-jewelry", k=5, issuer_id="iris",
+        requirement=QoSRequirement(min_completeness=0.99,
+                                   min_correctness=0.99,
+                                   max_response_time=0.001),
+    )
+    blunt = consumer.ask(strict)
+    print(f"  strict ask: {len(blunt.unserved_jobs)} of "
+          f"{len(blunt.unserved_jobs) + len(blunt.contracts)} jobs unserved")
+    relaxed = consumer.ask_with_relaxation(
+        workload.topic_query("folk-jewelry", k=5, issuer_id="iris",
+                             requirement=strict.requirement),
+        relaxation_step=0.5, max_relaxations=4,
+    )
+    final_req = relaxed.query.requirement
+    print(f"  after relaxation: served with min_completeness="
+          f"{final_req.min_completeness:.2f}, "
+          f"{len(relaxed.ranked_items)} results, "
+          f"utility {relaxed.utility:.3f}")
+
+    # ------------------------------------------------------------------
+    print("\n=== 4. Socialized trust: learning from Jason's burns ===")
+    jason_reputation = ReputationSystem()
+    burned_source = sorted(agora.sources)[0]
+    for __ in range(8):
+        jason_reputation.observe(burned_source, 0.0)  # Jason got burned
+    jason = AffineNeighbour(
+        "jason", affinity=0.85,
+        profile=UserProfile(user_id="jason",
+                            interests=agora.topic_space.basis("dance-forms", 0.9)),
+    )
+    social_view = SocialTrustView(
+        consumer.reputation, {"jason": jason_reputation}, [jason],
+    )
+    own = consumer.reputation.score(burned_source)
+    social = social_view.score(burned_source)
+    print(f"  Iris's own view of {burned_source}: {own:.2f} (little experience)")
+    print(f"  with Jason's shared experience:     {social:.2f} — avoided")
+
+
+if __name__ == "__main__":
+    main()

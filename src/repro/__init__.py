@@ -1,0 +1,49 @@
+"""Open Agoras of Data and Information — a constructive reproduction.
+
+Reproduces the system envisioned in Y. Ioannidis, "Emerging Open Agoras of
+Data and Information", ICDE 2007: a distributed environment of independent
+information systems where seeking information works like shopping for
+material goods — with uncertainty, QoS contracts, negotiation,
+personalization, socialization, collaboration, contextualization and
+multi-modal interaction as first-class concerns.
+
+Quickstart
+----------
+>>> from repro import build_agora, Consumer, UserProfile
+>>> agora = build_agora(seed=7, n_sources=5, items_per_source=30)
+
+Subpackage map (one per paper section):
+
+- :mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.data`,
+  :mod:`repro.sources` — substrates (simulator, overlay, content, sources).
+- :mod:`repro.uncertainty` (§2), :mod:`repro.qos` (§3),
+  :mod:`repro.negotiation` + :mod:`repro.optimizer` (§4),
+  :mod:`repro.personalization` (§5), :mod:`repro.social` (§6),
+  :mod:`repro.collaboration` (§7), :mod:`repro.context` (§8),
+  :mod:`repro.multimodal` (§9), :mod:`repro.trust` (cross-cutting).
+- :mod:`repro.core` — the Agora facade and Consumer agent.
+- :mod:`repro.workloads`, :mod:`repro.experiments` — evaluation harness.
+"""
+
+from repro.core import Agora, AgoraConfig, Consumer, ConsumerResult, build_agora
+from repro.personalization import UserProfile
+from repro.qos import QoSRequirement, QoSVector, QoSWeights
+from repro.query import Query, QueryKind, RelevanceOracle
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Agora",
+    "AgoraConfig",
+    "Consumer",
+    "ConsumerResult",
+    "QoSRequirement",
+    "QoSVector",
+    "QoSWeights",
+    "Query",
+    "QueryKind",
+    "RelevanceOracle",
+    "UserProfile",
+    "build_agora",
+    "__version__",
+]

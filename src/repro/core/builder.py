@@ -1,0 +1,24 @@
+"""Convenience constructors."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.agora import Agora
+from repro.core.config import AgoraConfig
+
+
+def build_agora(config: Optional[AgoraConfig] = None, **overrides) -> Agora:
+    """Build an agora from a config (or keyword overrides of the default).
+
+    Example
+    -------
+    >>> agora = build_agora(seed=1, n_sources=5, items_per_source=20)
+    >>> len(agora.sources)
+    5
+    """
+    if config is None:
+        config = AgoraConfig(**overrides)
+    elif overrides:
+        raise ValueError("pass either a config object or keyword overrides, not both")
+    return Agora(config)

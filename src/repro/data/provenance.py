@@ -1,0 +1,59 @@
+"""Provenance records: where an information item came from.
+
+The paper emphasises that results in an Open Agora are of *uncertain
+origin*.  We track origin explicitly so that experiments can measure how
+well trust mechanisms recover it.  A provenance chain records each hand-off
+(source → intermediary → consumer) with a timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProvenanceHop:
+    """One hop in a provenance chain."""
+
+    holder_id: str
+    time: float
+    role: str = "source"  # "source" | "intermediary" | "consumer"
+
+
+@dataclass
+class ProvenanceChain:
+    """The ordered list of holders an item passed through."""
+
+    item_id: str
+    hops: List[ProvenanceHop] = field(default_factory=list)
+
+    def extend(self, holder_id: str, time: float, role: str = "intermediary") -> "ProvenanceChain":
+        """Return a new chain with one more hop appended."""
+        if self.hops and time < self.hops[-1].time:
+            raise ValueError("provenance hops must be time-ordered")
+        return ProvenanceChain(self.item_id, self.hops + [ProvenanceHop(holder_id, time, role)])
+
+    @property
+    def origin(self) -> Optional[str]:
+        """The first holder (the true origin), or ``None`` if empty."""
+        return self.hops[0].holder_id if self.hops else None
+
+    @property
+    def current_holder(self) -> Optional[str]:
+        """The most recent holder, if any."""
+        return self.hops[-1].holder_id if self.hops else None
+
+    @property
+    def length(self) -> int:
+        """Number of hops in the chain."""
+        return len(self.hops)
+
+    def holders(self) -> Tuple[str, ...]:
+        """All holder ids in hop order."""
+        return tuple(hop.holder_id for hop in self.hops)
+
+
+def originate(item_id: str, source_id: str, time: float) -> ProvenanceChain:
+    """Create a fresh chain rooted at ``source_id``."""
+    return ProvenanceChain(item_id, [ProvenanceHop(source_id, time, role="source")])

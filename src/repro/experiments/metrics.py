@@ -1,0 +1,86 @@
+"""Statistics helpers for experiment reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean ± a normal-approximation confidence half-width."""
+
+    mean: float
+    ci: float
+    n: int
+
+    def __str__(self) -> str:
+        return f"{self.mean:.3f}±{self.ci:.3f}"
+
+
+def summarize(values: Sequence[float], z: float = 1.96) -> Summary:
+    """Mean and 95% (by default) confidence half-width of ``values``."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return Summary(mean=0.0, ci=0.0, n=0)
+    mean = float(array.mean())
+    if array.size == 1:
+        return Summary(mean=mean, ci=0.0, n=1)
+    sem = float(array.std(ddof=1) / np.sqrt(array.size))
+    return Summary(mean=mean, ci=z * sem, n=int(array.size))
+
+
+def relative_improvement(treatment: float, baseline: float) -> float:
+    """(treatment − baseline) / |baseline|; 0 when baseline is 0."""
+    if baseline == 0:
+        return 0.0
+    return (treatment - baseline) / abs(baseline)
+
+
+def win_rate(treatment: Sequence[float], baseline: Sequence[float]) -> float:
+    """Fraction of paired trials where treatment strictly beats baseline."""
+    treatment = list(treatment)
+    baseline = list(baseline)
+    if len(treatment) != len(baseline):
+        raise ValueError("paired sequences must have equal length")
+    if not treatment:
+        return 0.0
+    wins = sum(1 for t, b in zip(treatment, baseline) if t > b)
+    return wins / len(treatment)
+
+
+def mann_whitney_p(treatment: Sequence[float], baseline: Sequence[float]) -> float:
+    """One-sided Mann-Whitney p-value for "treatment > baseline".
+
+    Uses scipy when available; falls back to a normal approximation of
+    the U statistic otherwise.  Returns 1.0 for degenerate inputs.
+    """
+    treatment = np.asarray(list(treatment), dtype=float)
+    baseline = np.asarray(list(baseline), dtype=float)
+    if treatment.size == 0 or baseline.size == 0:
+        return 1.0
+    try:
+        from scipy.stats import mannwhitneyu
+
+        return float(
+            mannwhitneyu(treatment, baseline, alternative="greater").pvalue
+        )
+    except ImportError:  # pragma: no cover - environment without scipy
+        n1, n2 = treatment.size, baseline.size
+        combined = np.concatenate([treatment, baseline])
+        order = combined.argsort(kind="mergesort")
+        ranks = np.empty_like(order, dtype=float)
+        ranks[order] = np.arange(1, combined.size + 1)
+        for value in np.unique(combined):
+            mask = combined == value
+            if mask.sum() > 1:
+                ranks[mask] = ranks[mask].mean()
+        u = ranks[:n1].sum() - n1 * (n1 + 1) / 2.0
+        mean_u = n1 * n2 / 2.0
+        std_u = np.sqrt(n1 * n2 * (n1 + n2 + 1) / 12.0)
+        if std_u == 0:
+            return 1.0
+        z = (u - mean_u) / std_u
+        return float(0.5 * (1.0 - np.math.erf(z / np.sqrt(2.0))))

@@ -1,0 +1,42 @@
+"""ASCII table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_cell(value) -> str:
+    """Render one cell (floats to 3 decimals)."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render a fixed-width ASCII table (the benches print these)."""
+    if not headers:
+        raise ValueError("table needs headers")
+    formatted_rows = [[format_cell(cell) for cell in row] for row in rows]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width must match headers")
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    parts: List[str] = []
+    if title:
+        parts.append(f"== {title} ==")
+    parts.append(line(list(headers)))
+    parts.append(separator)
+    parts.extend(line(row) for row in formatted_rows)
+    return "\n".join(parts)

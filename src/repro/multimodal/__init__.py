@@ -1,0 +1,36 @@
+"""Multi-modal interaction: feeds, browsing, annotations (paper §9).
+
+Public API:
+
+- :class:`FeedService`, :class:`StandingQuery`, :class:`FeedHit` —
+  continuous feeds with live query modification.
+- :class:`BrowseGraph`, :class:`Browser`, :class:`BrowseStep` —
+  profile-guided navigation.
+- :class:`AnnotationService`, :class:`AnnotationRecord` —
+  annotation-triggered comparisons.
+- :class:`InteractionSession`, :class:`Discovery` — interleaved sessions.
+"""
+
+from repro.multimodal.annotations import AnnotationRecord, AnnotationService
+from repro.multimodal.browsing import Browser, BrowseGraph, BrowseStep
+from repro.multimodal.feeds import (
+    FeedHit,
+    FeedService,
+    StandingQuery,
+    reset_standing_ids,
+)
+from repro.multimodal.session import Discovery, InteractionSession
+
+__all__ = [
+    "AnnotationRecord",
+    "AnnotationService",
+    "BrowseGraph",
+    "BrowseStep",
+    "Browser",
+    "Discovery",
+    "FeedHit",
+    "FeedService",
+    "InteractionSession",
+    "StandingQuery",
+    "reset_standing_ids",
+]

@@ -1,0 +1,123 @@
+"""Annotations and annotation-triggered comparisons.
+
+"While examining the contents of a thesis from the repository, relevant
+parts of it, whether specified by Iris through some annotation or
+identified as important by the system, are compared against the catalog
+material as well as other resources" (§9).
+
+Annotating an item does two things here: it records the note (an
+:class:`~repro.data.items.Annotation` object, itself an information item
+that can live in a personal information base), and it spawns or extends a
+standing comparison in the feed service so future material is matched
+against the annotated part automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.data.items import Annotation, CompoundObject, InformationItem, make_item_id
+from repro.multimodal.feeds import FeedService, StandingQuery
+from repro.uncertainty.matching import ConceptLifter
+from repro.uncertainty.salience import salient_parts
+
+
+@dataclass
+class AnnotationRecord:
+    """An annotation plus the standing comparison it drives."""
+
+    annotation: Annotation
+    standing_id: Optional[int] = None
+
+
+class AnnotationService:
+    """Creates annotations and wires them into the feed machinery."""
+
+    def __init__(self, feeds: Optional[FeedService] = None, auto_compare: bool = True):
+        self.feeds = feeds
+        self.auto_compare = auto_compare and feeds is not None
+        self._records: Dict[str, List[AnnotationRecord]] = {}
+
+    # ------------------------------------------------------------------
+    def annotate(
+        self,
+        author_id: str,
+        target: InformationItem,
+        text: str = "",
+        created_at: float = 0.0,
+        comparison_threshold: float = 0.6,
+    ) -> AnnotationRecord:
+        """Attach a note to ``target``; optionally start a comparison.
+
+        The annotation inherits the target's latent (the note is *about*
+        that content), so the triggered standing query matches material
+        similar to the annotated item.
+        """
+        annotation = Annotation(
+            item_id=make_item_id("annotation"),
+            domain=target.domain,
+            latent=target.latent,
+            created_at=created_at,
+            author_id=author_id,
+            target_item_id=target.item_id,
+            text=text,
+        )
+        record = AnnotationRecord(annotation=annotation)
+        if self.auto_compare:
+            standing = StandingQuery(
+                owner_id=author_id,
+                comparison_items=[target],
+                threshold=comparison_threshold,
+            )
+            assert self.feeds is not None
+            record.standing_id = self.feeds.register(standing)
+        self._records.setdefault(author_id, []).append(record)
+        return record
+
+    def extend_comparison(
+        self, author_id: str, record: AnnotationRecord, item: InformationItem
+    ) -> None:
+        """Add another object to an annotation's running comparison."""
+        if record.standing_id is None or self.feeds is None:
+            raise ValueError("annotation has no standing comparison")
+        standing = self.feeds.standing_query(record.standing_id)
+        if standing.owner_id != author_id:
+            raise PermissionError("only the author may modify the comparison")
+        standing.add_comparison_item(item)
+
+    def auto_annotate(
+        self,
+        author_id: str,
+        compound: CompoundObject,
+        lifter: ConceptLifter,
+        k: int = 2,
+        created_at: float = 0.0,
+        comparison_threshold: float = 0.6,
+    ) -> List[AnnotationRecord]:
+        """System-identified important parts → automatic comparisons (§9).
+
+        Detects the ``k`` most salient parts of ``compound`` and annotates
+        each on the author's behalf, spawning standing comparisons exactly
+        as a manual annotation would.
+        """
+        records = []
+        for salient in salient_parts(compound, lifter, k=k):
+            records.append(self.annotate(
+                author_id,
+                salient.part,
+                text=f"[auto] salient part of {compound.item_id} "
+                     f"(salience {salient.salience:.2f})",
+                created_at=created_at,
+                comparison_threshold=comparison_threshold,
+            ))
+        return records
+
+    # ------------------------------------------------------------------
+    def annotations_by(self, author_id: str) -> List[Annotation]:
+        """Annotations authored by ``author_id``."""
+        return [record.annotation for record in self._records.get(author_id, [])]
+
+    def records_by(self, author_id: str) -> List[AnnotationRecord]:
+        """Annotation records authored by ``author_id``."""
+        return list(self._records.get(author_id, []))

@@ -1,0 +1,120 @@
+"""Sealed-bid auctions over service proposals.
+
+Besides bilateral bargaining and the contract net, market mechanisms in
+the agora include classic sealed-bid auctions (the paper's commercial-
+exchange framing; mechanisms from Rosenschein & Zlotkin's *Rules of
+Encounter*).  The consumer auctions a job; providers submit one sealed
+quote each; the winner is the cheapest *qualified* bid and pays either its
+own price (first-price) or the runner-up's (second-price / Vickrey, which
+makes truthful cost revelation a dominant strategy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, List, Optional, Sequence
+
+from repro.negotiation.contract_net import CallForProposals, Proposal
+from repro.qos.sla import SLAContract
+
+
+class AuctionKind(Enum):
+    """Clearing rules for sealed-bid auctions."""
+    FIRST_PRICE = "first-price"
+    SECOND_PRICE = "second-price"
+
+
+@dataclass
+class AuctionOutcome:
+    """Result of one sealed-bid auction."""
+
+    cfp: CallForProposals
+    kind: AuctionKind
+    bids: List[Proposal] = field(default_factory=list)
+    winner: Optional[Proposal] = None
+    clearing_price: float = 0.0
+    contract: Optional[SLAContract] = None
+
+    @property
+    def sold(self) -> bool:
+        """Whether a winner was awarded."""
+        return self.winner is not None
+
+
+Qualifier = Callable[[Proposal], bool]
+
+
+class SealedBidAuction:
+    """Runs sealed-bid reverse auctions (consumer buys a service).
+
+    Parameters
+    ----------
+    kind:
+        First-price (winner pays its bid) or second-price (winner pays
+        the runner-up's total; with one bidder, the reserve).
+    reserve_price:
+        Maximum total price the consumer accepts; bids above it are
+        rejected outright.
+    qualifier:
+        Optional predicate a bid must pass (e.g. promised QoS screening).
+    """
+
+    def __init__(
+        self,
+        kind: AuctionKind = AuctionKind.SECOND_PRICE,
+        reserve_price: float = float("inf"),
+        qualifier: Optional[Qualifier] = None,
+    ):
+        if reserve_price <= 0:
+            raise ValueError("reserve_price must be positive")
+        self.kind = kind
+        self.reserve_price = reserve_price
+        self.qualifier = qualifier
+
+    def run(
+        self,
+        cfp: CallForProposals,
+        bidders: Sequence,
+        now: float = 0.0,
+    ) -> AuctionOutcome:
+        """Collect one sealed bid per bidder and clear the auction."""
+        bids = []
+        for bidder in bidders:
+            proposal = bidder(cfp)
+            if proposal is None:
+                continue
+            if self.qualifier is not None and not self.qualifier(proposal):
+                continue
+            if proposal.total_price > self.reserve_price:
+                continue
+            bids.append(proposal)
+        outcome = AuctionOutcome(cfp=cfp, kind=self.kind, bids=bids)
+        if not bids:
+            return outcome
+        ordered = sorted(bids, key=lambda p: (p.total_price, p.provider_id))
+        winner = ordered[0]
+        if self.kind is AuctionKind.FIRST_PRICE:
+            clearing = winner.total_price
+        else:
+            if len(ordered) > 1:
+                clearing = ordered[1].total_price
+            else:
+                clearing = min(self.reserve_price, winner.total_price * 2)
+        # Split the clearing total back into base/premium proportionally.
+        total = winner.total_price
+        scale = clearing / total if total > 0 else 1.0
+        contract = SLAContract(
+            provider_id=winner.provider_id,
+            consumer_id=cfp.consumer_id,
+            requirement=cfp.requirement,
+            base_price=winner.quote.base_price * scale,
+            premium=winner.quote.premium * scale,
+            compensation=winner.quote.compensation,
+            signed_at=now,
+            job_id=cfp.job_id,
+        )
+        outcome.winner = winner
+        outcome.clearing_price = clearing
+        outcome.contract = contract
+        return outcome

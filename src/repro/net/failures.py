@@ -1,0 +1,166 @@
+"""Failure and load models for overlay nodes.
+
+Section 2 of the paper lists the ways a source may silently drop out of a
+request: *overloading, unavailability, or black-listing*.  This module
+models the first two; blacklists live in :mod:`repro.trust.blacklist`.
+
+- :class:`NodeHealth` — per-node up/down state driven by an alternating
+  renewal (churn) process.
+- :class:`LoadModel` — per-node concurrent-request load with a capacity;
+  the probability of declining a request grows with utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import ScopedStreams
+
+
+@dataclass
+class ChurnSpec:
+    """Parameters of the alternating up/down renewal process."""
+
+    mean_uptime: float = 500.0
+    mean_downtime: float = 20.0
+
+    def __post_init__(self) -> None:
+        if self.mean_uptime <= 0 or self.mean_downtime <= 0:
+            raise ValueError("mean up/down times must be positive")
+
+
+class NodeHealth:
+    """Tracks and evolves up/down state for a set of nodes.
+
+    Downtime/uptime durations are exponential with the configured means;
+    transitions are scheduled on the simulator.  Nodes start up.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        nodes: Iterable[str],
+        streams: ScopedStreams,
+        spec: Optional[ChurnSpec] = None,
+        enabled: bool = True,
+    ):
+        self._sim = simulator
+        self._rng = streams.stream("churn")
+        self.spec = spec if spec is not None else ChurnSpec()
+        self._up: Dict[str, bool] = {node: True for node in nodes}
+        self._listeners: List[Callable[[str, bool], None]] = []
+        if enabled:
+            for node in sorted(self._up):
+                self._schedule_transition(node)
+
+    # ------------------------------------------------------------------
+    def is_up(self, node: str) -> bool:
+        """Whether ``node`` is currently up (unknown nodes are down)."""
+        return self._up.get(node, False)
+
+    def up_nodes(self) -> List[str]:
+        """Sorted ids of nodes currently up."""
+        return sorted(node for node, up in self._up.items() if up)
+
+    def set_state(self, node: str, up: bool) -> None:
+        """Force a node's state (used by tests and failure injection)."""
+        if node not in self._up:
+            raise KeyError(f"unknown node {node!r}")
+        if self._up[node] != up:
+            self._up[node] = up
+            for listener in self._listeners:
+                listener(node, up)
+
+    def on_change(self, listener: Callable[[str, bool], None]) -> None:
+        """Register a callback invoked as ``listener(node, is_up)``."""
+        self._listeners.append(listener)
+
+    def availability(self) -> float:
+        """Fraction of nodes currently up."""
+        if not self._up:
+            return 0.0
+        return sum(self._up.values()) / len(self._up)
+
+    # ------------------------------------------------------------------
+    def _schedule_transition(self, node: str) -> None:
+        mean = self.spec.mean_uptime if self._up[node] else self.spec.mean_downtime
+        delay = float(self._rng.exponential(mean))
+
+        def flip() -> None:
+            self.set_state(node, not self._up[node])
+            self._sim.trace.count("net.churn_transitions")
+            self._schedule_transition(node)
+
+        self._sim.schedule(delay, flip, tag=f"churn:{node}")
+
+
+@dataclass
+class LoadSpec:
+    """Capacity model parameters."""
+
+    capacity: float = 10.0  # concurrent requests a node handles comfortably
+    decline_sharpness: float = 4.0  # how steeply decline prob. rises with load
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.decline_sharpness < 0:
+            raise ValueError("decline_sharpness must be non-negative")
+
+
+class LoadModel:
+    """Concurrent load per node, with load-dependent decline probability.
+
+    The decline probability is a logistic function of utilisation
+    ``u = load / capacity`` centred at ``u = 1``: nodes under capacity almost
+    never decline, saturated nodes usually do — the paper's "declined to
+    participate because of overloading".
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[str],
+        streams: ScopedStreams,
+        spec: Optional[LoadSpec] = None,
+    ):
+        self._rng = streams.stream("load")
+        self.spec = spec if spec is not None else LoadSpec()
+        self._load: Dict[str, float] = {node: 0.0 for node in nodes}
+
+    def load(self, node: str) -> float:
+        """Current concurrent load at ``node``."""
+        return self._load.get(node, 0.0)
+
+    def utilisation(self, node: str) -> float:
+        """Load relative to capacity at ``node``."""
+        return self.load(node) / self.spec.capacity
+
+    def begin(self, node: str, amount: float = 1.0) -> None:
+        """Account for a request starting at ``node``."""
+        if node not in self._load:
+            raise KeyError(f"unknown node {node!r}")
+        self._load[node] += amount
+
+    def end(self, node: str, amount: float = 1.0) -> None:
+        """Account for a request finishing at ``node``."""
+        if node not in self._load:
+            raise KeyError(f"unknown node {node!r}")
+        self._load[node] = max(0.0, self._load[node] - amount)
+
+    def decline_probability(self, node: str) -> float:
+        """Probability that ``node`` declines a new request right now."""
+        utilisation = self.utilisation(node)
+        z = self.spec.decline_sharpness * (utilisation - 1.0)
+        return float(1.0 / (1.0 + np.exp(-z)))
+
+    def declines(self, node: str) -> bool:
+        """Sample the decline decision for a new request at ``node``."""
+        return bool(self._rng.random() < self.decline_probability(node))
+
+    def service_slowdown(self, node: str) -> float:
+        """Multiplier on service time due to load (>= 1)."""
+        return 1.0 + max(0.0, self.utilisation(node) - 0.5)

@@ -1,0 +1,59 @@
+"""Message model for the peer overlay."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_MESSAGE_COUNTER = itertools.count()
+
+
+@dataclass
+class Message:
+    """A unit of communication between two overlay nodes.
+
+    Attributes
+    ----------
+    sender / recipient:
+        Overlay node identifiers.
+    kind:
+        Application-level message type (e.g. ``"query"``, ``"offer"``).
+    payload:
+        Arbitrary application data.
+    size:
+        Payload size in abstract units; divides by link bandwidth to give
+        transmission delay.
+    reply_to:
+        Id of the message this one answers, if any.
+    """
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any = None
+    size: float = 1.0
+    reply_to: Optional[int] = None
+    message_id: int = field(default_factory=lambda: next(_MESSAGE_COUNTER))
+    sent_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("message size must be positive")
+
+    def reply(self, kind: str, payload: Any = None, size: float = 1.0) -> "Message":
+        """Build a reply addressed back to the sender."""
+        return Message(
+            sender=self.recipient,
+            recipient=self.sender,
+            kind=kind,
+            payload=payload,
+            size=size,
+            reply_to=self.message_id,
+        )
+
+
+def reset_message_ids() -> None:
+    """Reset the global message-id counter (tests only)."""
+    global _MESSAGE_COUNTER
+    _MESSAGE_COUNTER = itertools.count()

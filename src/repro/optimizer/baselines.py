@@ -1,0 +1,104 @@
+"""Baseline planners for the T5 experiment.
+
+Each baseline picks one source per job by a naive rule; comparing them
+against the multi-objective search quantifies the value of the paper's
+trading-based optimization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+from repro.optimizer.candidates import CandidateAssignment
+from repro.optimizer.plans import CandidatePlan
+from repro.optimizer.search import CandidateTable
+from repro.sim.rng import ScopedStreams
+
+
+class RandomPlanner:
+    """Uniform random source per job."""
+
+    name = "random"
+
+    def __init__(self, streams: ScopedStreams):
+        self._rng = streams.stream("random-planner")
+
+    def plan(self, table: CandidateTable) -> CandidatePlan:
+        """Pick one source per job by this baseline's rule."""
+        if not table:
+            raise ValueError("candidate table is empty")
+        assignments: Dict[str, List[CandidateAssignment]] = {}
+        for job_id in sorted(table):
+            candidates = table[job_id]
+            assignments[job_id] = [candidates[int(self._rng.integers(len(candidates)))]]
+        return CandidatePlan(assignments)
+
+
+class CostGreedyPlanner:
+    """Cheapest (fastest expected) source per job, quality ignored."""
+
+    name = "cost-greedy"
+
+    def plan(self, table: CandidateTable) -> CandidatePlan:
+        """Pick one source per job by this baseline's rule."""
+        if not table:
+            raise ValueError("candidate table is empty")
+        return CandidatePlan(
+            {
+                job_id: [min(candidates, key=lambda c: (c.cost.mean, c.source_id))]
+                for job_id, candidates in sorted(table.items())
+            }
+        )
+
+
+class QualityGreedyPlanner:
+    """Highest expected completeness per job, cost ignored."""
+
+    name = "quality-greedy"
+
+    def plan(self, table: CandidateTable) -> CandidatePlan:
+        """Pick one source per job by this baseline's rule."""
+        if not table:
+            raise ValueError("candidate table is empty")
+        return CandidatePlan(
+            {
+                job_id: [
+                    max(
+                        candidates,
+                        key=lambda c: (c.expected.completeness, -c.cost.mean, c.source_id),
+                    )
+                ]
+                for job_id, candidates in sorted(table.items())
+            }
+        )
+
+
+class RoundRobinPlanner:
+    """Cycles through sources across jobs (load-spreading, oblivious)."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def plan(self, table: CandidateTable) -> CandidatePlan:
+        """Pick one source per job by this baseline's rule."""
+        if not table:
+            raise ValueError("candidate table is empty")
+        assignments: Dict[str, List[CandidateAssignment]] = {}
+        for job_id in sorted(table):
+            candidates = sorted(table[job_id], key=lambda c: c.source_id)
+            assignments[job_id] = [candidates[self._cursor % len(candidates)]]
+            self._cursor += 1
+        return CandidatePlan(assignments)
+
+
+def baseline_suite(streams: ScopedStreams) -> List:
+    """All baseline planners (fresh instances)."""
+    return [
+        RandomPlanner(streams),
+        CostGreedyPlanner(),
+        QualityGreedyPlanner(),
+        RoundRobinPlanner(),
+    ]

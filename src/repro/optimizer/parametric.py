@@ -1,0 +1,126 @@
+"""Parametric query optimization.
+
+§2: environment uncertainty "is partially overcome through dynamic or
+parametric query optimization".  The dynamic flavour lives in
+:mod:`repro.query.adaptive`; this module is the parametric one: optimize
+*once per load regime* at plan time, then at execution time observe the
+actual load and dispatch the plan prepared for the closest regime —
+no re-optimization on the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Sequence
+
+from repro.optimizer.candidates import CandidateAssignment
+from repro.optimizer.plans import PlanEvaluation
+from repro.optimizer.search import CandidateTable, Evaluator
+from repro.qos.vector import QoSVector
+
+
+@dataclass(frozen=True)
+class LoadRegime:
+    """A hypothesised system condition at execution time.
+
+    ``cost_multiplier`` scales every candidate's expected response time
+    (and cost): 1.0 = the advertised baseline, 3.0 = heavily loaded.
+    """
+
+    name: str
+    cost_multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.cost_multiplier <= 0:
+            raise ValueError("cost_multiplier must be positive")
+
+
+DEFAULT_REGIMES = (
+    LoadRegime("light", 0.7),
+    LoadRegime("nominal", 1.0),
+    LoadRegime("heavy", 2.5),
+)
+
+
+def scale_candidate(
+    candidate: CandidateAssignment, multiplier: float
+) -> CandidateAssignment:
+    """A copy of ``candidate`` with time-like quantities scaled."""
+    if multiplier <= 0:
+        raise ValueError("multiplier must be positive")
+    expected = candidate.expected
+    scaled_expected = QoSVector(
+        response_time=expected.response_time * multiplier,
+        completeness=expected.completeness,
+        freshness=expected.freshness,
+        correctness=expected.correctness,
+        trust=expected.trust,
+    )
+    return replace(
+        candidate, expected=scaled_expected, cost=candidate.cost.scale(multiplier),
+    )
+
+
+@dataclass
+class ParametricPlan:
+    """The prepared per-regime plans."""
+
+    by_regime: Dict[str, PlanEvaluation]
+    regimes: Sequence[LoadRegime]
+
+    def choose(self, observed_multiplier: float) -> PlanEvaluation:
+        """Dispatch the plan prepared for the closest regime."""
+        if observed_multiplier <= 0:
+            raise ValueError("observed_multiplier must be positive")
+        closest = min(
+            self.regimes,
+            key=lambda regime: (
+                abs(regime.cost_multiplier - observed_multiplier), regime.name,
+            ),
+        )
+        return self.by_regime[closest.name]
+
+    def plans_differ(self) -> bool:
+        """Whether any two regimes prepared different plans."""
+        signatures = {
+            evaluation.plan.signature() for evaluation in self.by_regime.values()
+        }
+        return len(signatures) > 1
+
+
+class ParametricPlanner:
+    """Prepares one plan per load regime.
+
+    Parameters
+    ----------
+    searcher:
+        Any object with ``search(table, evaluator) -> SearchResult``
+        (exhaustive, greedy, local, evolutionary).
+    regimes:
+        The load hypotheses to prepare for.
+    """
+
+    def __init__(self, searcher, regimes: Sequence[LoadRegime] = DEFAULT_REGIMES):
+        if not regimes:
+            raise ValueError("need at least one regime")
+        names = [regime.name for regime in regimes]
+        if len(set(names)) != len(names):
+            raise ValueError("regime names must be unique")
+        self.searcher = searcher
+        self.regimes = tuple(regimes)
+
+    def prepare(self, table: CandidateTable, evaluator: Evaluator) -> ParametricPlan:
+        """Run one search per regime over the rescaled candidate table."""
+        if not table:
+            raise ValueError("candidate table is empty")
+        by_regime: Dict[str, PlanEvaluation] = {}
+        for regime in self.regimes:
+            scaled = {
+                job_id: [
+                    scale_candidate(candidate, regime.cost_multiplier)
+                    for candidate in candidates
+                ]
+                for job_id, candidates in table.items()
+            }
+            by_regime[regime.name] = self.searcher.search(scaled, evaluator).best
+        return ParametricPlan(by_regime=by_regime, regimes=self.regimes)

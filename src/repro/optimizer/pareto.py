@@ -1,0 +1,88 @@
+"""Pareto utilities for multi-objective plan comparison.
+
+"Any subset of these features may be together the target of a
+multi-objective optimization process" (§4).  We compare plans on
+(QoS utility, price): a plan dominates another when it is at least as good
+on both and strictly better on one.  The front is the set of non-dominated
+plans; hypervolume measures how much of objective space a front covers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.optimizer.plans import PlanEvaluation
+
+
+def dominates(a: PlanEvaluation, b: PlanEvaluation) -> bool:
+    """True when ``a`` Pareto-dominates ``b`` on (utility ↑, price ↓)."""
+    at_least = a.utility >= b.utility and a.price <= b.price
+    strictly = a.utility > b.utility or a.price < b.price
+    return at_least and strictly
+
+
+def pareto_front(evaluations: Sequence[PlanEvaluation]) -> List[PlanEvaluation]:
+    """Non-dominated subset, sorted by descending utility.
+
+    Duplicate objective points are kept once (the first encountered).
+    """
+    front: List[PlanEvaluation] = []
+    seen_points = set()
+    ordered = sorted(evaluations, key=lambda e: (-e.utility, e.price))
+    for candidate in ordered:
+        point = (round(candidate.utility, 12), round(candidate.price, 12))
+        if point in seen_points:
+            continue
+        if any(dominates(existing, candidate) for existing in front):
+            continue
+        front = [e for e in front if not dominates(candidate, e)]
+        front.append(candidate)
+        seen_points.add(point)
+    return sorted(front, key=lambda e: (-e.utility, e.price))
+
+
+def hypervolume(
+    front: Sequence[PlanEvaluation],
+    reference_price: float,
+    reference_utility: float = 0.0,
+) -> float:
+    """2-D hypervolume of a front against a (price, utility) reference.
+
+    Larger is better.  The reference should be a pessimistic corner:
+    a price no acceptable plan exceeds and a utility floor.
+    """
+    if reference_price <= 0:
+        raise ValueError("reference_price must be positive")
+    points = sorted(
+        {
+            (e.price, e.utility)
+            for e in front
+            if e.price <= reference_price and e.utility >= reference_utility
+        }
+    )
+    if not points:
+        return 0.0
+    # Walk from the most expensive point to the cheapest; the utility
+    # ceiling at each price is the best utility among points at or below it.
+    best_so_far = []
+    best = reference_utility
+    for __, utility in points:
+        best = max(best, utility)
+        best_so_far.append(best)
+    volume = 0.0
+    upper = reference_price
+    for index in range(len(points) - 1, -1, -1):
+        price = points[index][0]
+        volume += (upper - price) * (best_so_far[index] - reference_utility)
+        upper = price
+    return volume
+
+
+def regret(
+    chosen: PlanEvaluation, evaluations: Sequence[PlanEvaluation]
+) -> float:
+    """Utility gap between the chosen plan and the best available one."""
+    if not evaluations:
+        raise ValueError("need at least one evaluation")
+    best = max(e.utility for e in evaluations)
+    return max(0.0, best - chosen.utility)

@@ -1,0 +1,156 @@
+"""Candidate plans and their evaluation.
+
+A plan assigns each job one or more sources (replicating a job across
+sources buys completeness at the price of extra cost).  Aggregation rules:
+
+- response time: max over assignments (jobs run in parallel);
+- completeness: per job, 1 − Π(1 − cᵢ) over its replicas; mean over jobs;
+- freshness / correctness / trust: mean over assignments;
+- price: sum of per-assignment prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.optimizer.candidates import CandidateAssignment
+from repro.qos.vector import QoSVector, QoSWeights, scalarize
+from repro.query.algebra import PlanNode, Retrieve, standard_plan
+from repro.query.model import Query
+from repro.uncertainty.risk import RiskProfile, risk_neutral
+
+
+@dataclass
+class CandidatePlan:
+    """An assignment of jobs to (one or more) sources each."""
+
+    assignments: Dict[str, List[CandidateAssignment]]
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise ValueError("plan must cover at least one job")
+        for job_id, replicas in self.assignments.items():
+            if not replicas:
+                raise ValueError(f"job {job_id} has no assigned source")
+            sources = [r.source_id for r in replicas]
+            if len(set(sources)) != len(sources):
+                raise ValueError(f"job {job_id} assigns a source twice")
+
+    # ------------------------------------------------------------------
+    @property
+    def job_ids(self) -> List[str]:
+        """Sorted ids of the jobs this plan covers."""
+        return sorted(self.assignments)
+
+    @property
+    def all_assignments(self) -> List[CandidateAssignment]:
+        """Every assignment, grouped by job order."""
+        flat = []
+        for job_id in self.job_ids:
+            flat.extend(self.assignments[job_id])
+        return flat
+
+    @property
+    def source_ids(self) -> List[str]:
+        """Sorted distinct sources the plan uses."""
+        return sorted({a.source_id for a in self.all_assignments})
+
+    def replication_factor(self) -> float:
+        """Mean number of sources per job."""
+        return len(self.all_assignments) / len(self.assignments)
+
+    # ------------------------------------------------------------------
+    def expected_qos(self) -> QoSVector:
+        """Aggregate the consumer's expected QoS for this plan."""
+        assignments = self.all_assignments
+        response_time = max(a.expected.response_time for a in assignments)
+        per_job_completeness = []
+        for job_id in self.job_ids:
+            misses = 1.0
+            for assignment in self.assignments[job_id]:
+                misses *= 1.0 - assignment.expected.completeness
+            per_job_completeness.append(1.0 - misses)
+        return QoSVector(
+            response_time=response_time,
+            completeness=float(np.mean(per_job_completeness)),
+            freshness=float(np.mean([a.expected.freshness for a in assignments])),
+            correctness=float(np.mean([a.expected.correctness for a in assignments])),
+            trust=float(np.mean([a.expected.trust for a in assignments])),
+        )
+
+    def expected_price(self, unit_price: float = 1.0) -> float:
+        """Price proxy: cost-mean of each assignment times ``unit_price``."""
+        return unit_price * sum(a.cost.mean for a in self.all_assignments)
+
+    def breach_risk(self) -> float:
+        """Probability at least one assignment breaches (independent)."""
+        survival = 1.0
+        for assignment in self.all_assignments:
+            survival *= 1.0 - assignment.breach_risk
+        return 1.0 - survival
+
+    # ------------------------------------------------------------------
+    def to_plan_tree(self, query: Query) -> PlanNode:
+        """Materialise as an executable plan tree."""
+        leaves = [
+            Retrieve(assignment.subquery, assignment.source_id)
+            for assignment in self.all_assignments
+        ]
+        return standard_plan(leaves, k=query.k, tau=query.threshold)
+
+    def signature(self) -> tuple:
+        """Hashable identity: which sources serve which jobs."""
+        return tuple(
+            (job_id, tuple(sorted(a.source_id for a in self.assignments[job_id])))
+            for job_id in self.job_ids
+        )
+
+
+@dataclass(frozen=True)
+class PlanEvaluation:
+    """A plan scored under a user's preferences."""
+
+    plan: CandidatePlan
+    qos: QoSVector
+    price: float
+    utility: float
+    risk_adjusted_utility: float
+    breach_risk: float
+
+
+def evaluate_plan(
+    plan: CandidatePlan,
+    weights: QoSWeights,
+    price_sensitivity: float = 0.02,
+    risk_profile: Optional[RiskProfile] = None,
+    breach_penalty: float = 0.5,
+) -> PlanEvaluation:
+    """Score ``plan`` for a user.
+
+    The *risk-adjusted* utility treats the plan as a lottery: with
+    probability (1 − breach risk) the expected utility materialises; with
+    probability breach-risk only ``breach_penalty`` of it does.  The user's
+    risk profile turns that lottery into a certainty equivalent — risk
+    -averse users pay a premium to avoid risky plans (§2, §5).
+    """
+    if risk_profile is None:
+        risk_profile = risk_neutral()
+    qos = plan.expected_qos()
+    price = plan.expected_price()
+    utility = max(0.0, scalarize(qos, weights) - price_sensitivity * price)
+    risk = plan.breach_risk()
+    degraded = utility * breach_penalty
+    risk_adjusted = risk_profile.certainty_equivalent(
+        [utility, degraded], [1.0 - risk, risk]
+    )
+    return PlanEvaluation(
+        plan=plan,
+        qos=qos,
+        price=price,
+        utility=utility,
+        risk_adjusted_utility=risk_adjusted,
+        breach_risk=risk,
+    )

@@ -1,0 +1,171 @@
+"""Learning behavioural profile parts: risk attitudes and negotiation styles.
+
+§5 singles these out as untouched territory: "optimizing queries according
+to different risk profiles of individuals, **establishing those profiles
+through observations**" and "there are several [user-model elements] that
+remain untouched, e.g., **negotiation styles**".  Two estimators:
+
+- :class:`RiskAttitudeLearner` — fits a CARA coefficient to observed
+  choices among lotteries via a softmax (logit) choice model on a grid.
+- :func:`fit_concession_exponent` / :func:`classify_negotiation_style` —
+  recovers a time-dependent strategy's exponent from an observed
+  concession trace and maps it back to a named style.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.uncertainty.risk import RiskProfile
+
+Lottery = Tuple[Sequence[float], Sequence[float]]  # (outcomes, probabilities)
+
+
+@dataclass(frozen=True)
+class ObservedChoice:
+    """One observed decision among lotteries."""
+
+    options: Tuple[Lottery, ...]
+    chosen: int
+
+    def __post_init__(self) -> None:
+        if len(self.options) < 2:
+            raise ValueError("a choice needs at least two options")
+        if not 0 <= self.chosen < len(self.options):
+            raise ValueError("chosen index out of range")
+
+
+class RiskAttitudeLearner:
+    """Maximum-likelihood CARA estimation from lottery choices.
+
+    Assumes the user picks option ``i`` with probability
+    softmax(β · EUₐ(i)) where EUₐ is expected utility under CARA
+    coefficient ``a``; the grid search maximises the data likelihood
+    over ``a``.
+    """
+
+    def __init__(
+        self,
+        grid: Optional[Sequence[float]] = None,
+        choice_sharpness: float = 8.0,
+    ):
+        if choice_sharpness <= 0:
+            raise ValueError("choice_sharpness must be positive")
+        self.grid = (
+            list(grid) if grid is not None else list(np.linspace(-10.0, 10.0, 41))
+        )
+        if not self.grid:
+            raise ValueError("grid must be non-empty")
+        self.beta = choice_sharpness
+        self._choices: List[ObservedChoice] = []
+
+    # ------------------------------------------------------------------
+    def observe(self, choice: ObservedChoice) -> None:
+        """Record one observed choice."""
+        self._choices.append(choice)
+
+    def observe_choice(self, options: Sequence[Lottery], chosen: int) -> None:
+        """Convenience wrapper building the ObservedChoice."""
+        self.observe(ObservedChoice(tuple(options), chosen))
+
+    @property
+    def observations(self) -> int:
+        """Number of choices observed so far."""
+        return len(self._choices)
+
+    # ------------------------------------------------------------------
+    def log_likelihood(self, aversion: float) -> float:
+        """Data log-likelihood under CARA coefficient ``aversion``."""
+        profile = RiskProfile(aversion=aversion, name="candidate")
+        total = 0.0
+        for choice in self._choices:
+            values = np.array([
+                profile.expected_utility(outcomes, probabilities)
+                for outcomes, probabilities in choice.options
+            ])
+            logits = self.beta * values
+            logits -= logits.max()
+            log_probs = logits - np.log(np.exp(logits).sum())
+            total += float(log_probs[choice.chosen])
+        return total
+
+    def estimate(self) -> RiskProfile:
+        """The grid point maximising the likelihood (neutral when no data)."""
+        if not self._choices:
+            return RiskProfile(aversion=0.0, name="neutral")
+        scored = [(self.log_likelihood(a), -abs(a), a) for a in self.grid]
+        best = max(scored)[2]
+        if best > 0.5:
+            name = "averse"
+        elif best < -0.5:
+            name = "seeking"
+        else:
+            name = "neutral"
+        return RiskProfile(aversion=float(best), name=name)
+
+
+# ----------------------------------------------------------------------
+# Negotiation-style recovery
+# ----------------------------------------------------------------------
+def fit_concession_exponent(
+    trace: Sequence[Tuple[float, float]],
+    floor: float,
+    start: float = 0.95,
+) -> Optional[float]:
+    """Recover ``e`` of a time-dependent strategy from a concession trace.
+
+    ``trace`` is a list of (normalised time t, demanded own-utility).
+    Inverts target(t) = floor + (start−floor)·(1 − t^(1/e)) pointwise and
+    returns the median estimate; ``None`` when the trace never concedes
+    (a firm negotiator has no finite exponent).
+    """
+    span = start - floor
+    if span <= 0:
+        raise ValueError("start must exceed floor")
+    estimates = []
+    for t, target in trace:
+        if not 0.0 < t < 1.0:
+            continue
+        conceded = (start - target) / span
+        if not 1e-6 < conceded < 1.0 - 1e-6:
+            continue
+        # t^(1/e) = conceded  =>  e = ln t / ln conceded
+        estimates.append(float(np.log(t) / np.log(conceded)))
+    if not estimates:
+        return None
+    return float(np.median(estimates))
+
+
+def classify_negotiation_style(
+    trace: Sequence[Tuple[float, float]],
+    floor: float,
+    start: float = 0.95,
+) -> str:
+    """Name the style behind a concession trace.
+
+    - never concedes → ``firm``;
+    - e < 0.8 → ``boulware``; 0.8 ≤ e ≤ 1.25 → ``linear``;
+      e > 1.25 → ``conceder``.
+    (Behaviour-dependent styles like tit-for-tat are indistinguishable
+    from time-dependent ones without the opponent's trace; callers with
+    both sides should check reciprocity first.)
+    """
+    exponent = fit_concession_exponent(trace, floor, start)
+    if exponent is None:
+        return "firm"
+    if exponent < 0.8:
+        return "boulware"
+    if exponent <= 1.25:
+        return "linear"
+    return "conceder"
+
+
+def trace_from_strategy(strategy, floor: float, samples: int = 9):
+    """Sample a strategy's concession trace (for tests and calibration)."""
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    times = np.linspace(0.1, 0.9, samples)
+    return [(float(t), strategy.target(float(t), floor, [])) for t in times]

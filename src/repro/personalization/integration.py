@@ -1,0 +1,142 @@
+"""Multi-source profile integration.
+
+"Generating a single, cohesive profile from local ones collected for the
+same user at multiple information sources presents the usual difficulties
+of data integration as well as some specific ones ... e.g., dealing with
+inconsistent behavior at different sources with respect to likes and
+dislikes" (§5).
+
+Each source holds a :class:`LocalProfile` (its partial observation of the
+user).  Integration is confidence- and recency-weighted averaging, with an
+explicit inconsistency report for topic dimensions where local profiles
+disagree beyond a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.personalization.profile import UserProfile
+
+
+@dataclass
+class LocalProfile:
+    """One source's partial view of a user.
+
+    Attributes
+    ----------
+    source_id:
+        Which source observed this.
+    user_id:
+        Who it describes.
+    interests:
+        Local interest estimate (normalised on construction).
+    confidence:
+        Evidence mass (e.g. number of interactions behind the estimate).
+    observed_at:
+        Virtual time of the last contributing observation.
+    """
+
+    source_id: str
+    user_id: str
+    interests: np.ndarray
+    confidence: float = 1.0
+    observed_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.interests = np.asarray(self.interests, dtype=float)
+        if np.any(self.interests < -1e-12):
+            raise ValueError("interests must be non-negative")
+        total = self.interests.sum()
+        if total <= 0:
+            raise ValueError("interests must have positive mass")
+        self.interests = np.clip(self.interests, 0.0, None) / total
+        if self.confidence <= 0:
+            raise ValueError("confidence must be positive")
+
+
+@dataclass
+class IntegrationReport:
+    """Outcome of merging local profiles."""
+
+    merged_interests: np.ndarray
+    total_confidence: float
+    inconsistent_topics: List[int] = field(default_factory=list)
+    sources_used: List[str] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        """Whether no topic was flagged inconsistent."""
+        return not self.inconsistent_topics
+
+
+def integrate_profiles(
+    locals_: Sequence[LocalProfile],
+    recency_half_life: float = 200.0,
+    now: float = 0.0,
+    inconsistency_tolerance: float = 0.25,
+) -> IntegrationReport:
+    """Merge local profiles of one user into a global interest vector.
+
+    Weights combine confidence with exponential recency decay.  A topic is
+    flagged inconsistent when the confidence-weighted spread of local
+    values exceeds ``inconsistency_tolerance``; for those topics the most
+    *recent* local profile wins outright (recency resolves contradiction,
+    the "likes changed" interpretation).
+    """
+    if not locals_:
+        raise ValueError("need at least one local profile")
+    user_ids = {lp.user_id for lp in locals_}
+    if len(user_ids) != 1:
+        raise ValueError(f"local profiles describe different users: {sorted(user_ids)}")
+    n_topics = locals_[0].interests.shape[0]
+    if any(lp.interests.shape != (n_topics,) for lp in locals_):
+        raise ValueError("local profiles disagree on topic dimensionality")
+    if recency_half_life <= 0:
+        raise ValueError("recency_half_life must be positive")
+
+    weights = np.array(
+        [
+            lp.confidence * 0.5 ** (max(0.0, now - lp.observed_at) / recency_half_life)
+            for lp in locals_
+        ]
+    )
+    weights = weights / weights.sum()
+    stacked = np.stack([lp.interests for lp in locals_])
+    merged = weights @ stacked
+
+    # Inconsistency detection: weighted std per topic, relative to mean.
+    deviations = stacked - merged
+    spread = np.sqrt(weights @ (deviations**2))
+    inconsistent = [
+        int(i)
+        for i in range(n_topics)
+        if spread[i] > inconsistency_tolerance * max(merged[i], 1.0 / n_topics)
+    ]
+    if inconsistent:
+        freshest = max(locals_, key=lambda lp: (lp.observed_at, lp.confidence))
+        for topic_index in inconsistent:
+            merged[topic_index] = freshest.interests[topic_index]
+    merged = np.clip(merged, 1e-12, None)
+    merged = merged / merged.sum()
+    return IntegrationReport(
+        merged_interests=merged,
+        total_confidence=float(sum(lp.confidence for lp in locals_)),
+        inconsistent_topics=inconsistent,
+        sources_used=sorted({lp.source_id for lp in locals_}),
+    )
+
+
+def integrated_profile(
+    base: UserProfile,
+    locals_: Sequence[LocalProfile],
+    now: float = 0.0,
+) -> UserProfile:
+    """Convenience: apply integration to a full profile."""
+    report = integrate_profiles(locals_, now=now)
+    merged = base.with_interests(report.merged_interests)
+    merged.confidence = report.total_confidence
+    return merged

@@ -1,0 +1,159 @@
+"""Profile learning from interaction logs.
+
+"Profiling techniques need to be developed that will observe users during
+their normal interaction with the system, interpret their actions
+appropriately, and formulate their individual profiles" (§5).  The learner
+consumes a stream of :class:`InteractionEvent` records (clicks, saves,
+annotations, skips) and maintains an exponentially-decayed interest vector
+plus mode-preference counts.
+
+The learner never reads ground-truth latents: items are mapped into
+concept space by a caller-supplied ``concept_fn`` (normally the
+:class:`~repro.uncertainty.matching.ConceptLifter`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional
+
+import numpy as np
+
+from repro.data.items import InformationItem
+from repro.personalization.profile import INTERACTION_MODES, UserProfile
+
+ConceptFn = Callable[[InformationItem], np.ndarray]
+
+#: evidence weight per action type; negative = disinterest signal
+ACTION_WEIGHTS: Dict[str, float] = {
+    "click": 1.0,
+    "dwell": 1.5,
+    "save": 3.0,
+    "annotate": 4.0,
+    "share": 2.5,
+    "skip": -0.5,
+}
+
+
+@dataclass(frozen=True)
+class InteractionEvent:
+    """One observed user action."""
+
+    user_id: str
+    item: InformationItem
+    action: str
+    mode: str = "query"
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTION_WEIGHTS:
+            raise ValueError(
+                f"unknown action {self.action!r}; known: {sorted(ACTION_WEIGHTS)}"
+            )
+        if self.mode not in INTERACTION_MODES:
+            raise ValueError(f"unknown mode {self.mode!r}")
+
+
+class ProfileLearner:
+    """Builds and maintains a user's profile from events.
+
+    Parameters
+    ----------
+    n_topics:
+        Dimensionality of the concept space.
+    concept_fn:
+        Maps an item to its estimated concept vector.
+    learning_rate:
+        Weight of new evidence against the existing estimate.
+    decay:
+        Per-event multiplicative forgetting applied to old interests.
+    """
+
+    def __init__(
+        self,
+        n_topics: int,
+        concept_fn: ConceptFn,
+        learning_rate: float = 0.15,
+        decay: float = 0.995,
+    ):
+        if n_topics < 1:
+            raise ValueError("n_topics must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.n_topics = n_topics
+        self.concept_fn = concept_fn
+        self.learning_rate = learning_rate
+        self.decay = decay
+        self._interests: Dict[str, np.ndarray] = {}
+        self._mode_counts: Dict[str, Dict[str, float]] = {}
+        self._event_counts: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def observe(self, event: InteractionEvent) -> None:
+        """Fold one event into the user's running estimate."""
+        user_id = event.user_id
+        interests = self._interests.get(user_id)
+        if interests is None:
+            interests = np.full(self.n_topics, 1.0 / self.n_topics)
+        concept = np.asarray(self.concept_fn(event.item), dtype=float)
+        if concept.shape != (self.n_topics,):
+            raise ValueError(
+                f"concept_fn returned shape {concept.shape}, expected ({self.n_topics},)"
+            )
+        weight = ACTION_WEIGHTS[event.action]
+        updated = interests * self.decay + self.learning_rate * weight * concept
+        updated = np.clip(updated, 1e-9, None)
+        self._interests[user_id] = updated / updated.sum()
+        modes = self._mode_counts.setdefault(
+            user_id, {mode: 1.0 for mode in INTERACTION_MODES}
+        )
+        if weight > 0:
+            modes[event.mode] += 1.0
+        self._event_counts[user_id] = self._event_counts.get(user_id, 0) + 1
+
+    def observe_all(self, events: Iterable[InteractionEvent]) -> None:
+        """Fold a batch of events."""
+        for event in events:
+            self.observe(event)
+
+    # ------------------------------------------------------------------
+    def events_seen(self, user_id: str) -> int:
+        """Events observed for ``user_id``."""
+        return self._event_counts.get(user_id, 0)
+
+    def interests(self, user_id: str) -> np.ndarray:
+        """Current interest estimate (uniform for unseen users)."""
+        interests = self._interests.get(user_id)
+        if interests is None:
+            return np.full(self.n_topics, 1.0 / self.n_topics)
+        return interests.copy()
+
+    def profile(self, user_id: str, base: Optional[UserProfile] = None) -> UserProfile:
+        """Materialise the learned profile.
+
+        ``base`` supplies the non-learnable parts (risk attitude, QoS
+        weights); learned interests, mode preferences and confidence are
+        filled in.
+        """
+        modes = self._mode_counts.get(
+            user_id, {mode: 1.0 for mode in INTERACTION_MODES}
+        )
+        if base is None:
+            return UserProfile(
+                user_id=user_id,
+                interests=self.interests(user_id),
+                mode_preference=dict(modes),
+                confidence=float(self.events_seen(user_id)),
+            )
+        return UserProfile(
+            user_id=user_id,
+            interests=self.interests(user_id),
+            qos_weights=base.qos_weights,
+            risk=base.risk,
+            negotiation_style=base.negotiation_style,
+            mode_preference=dict(modes),
+            price_sensitivity=base.price_sensitivity,
+            confidence=float(self.events_seen(user_id)),
+        )

@@ -1,0 +1,57 @@
+"""Breach-probability estimation.
+
+Given a provider's (expected) delivered QoS and a requirement it is asked
+to promise, estimate the probability it will breach the contract.  Each
+constrained dimension contributes a logistic term in the margin between
+expectation and bound; the dimension-wise risks combine as independent
+events.  Both providers (to price premiums) and consumers (to discount
+promises) use this.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.qos.vector import QoSRequirement, QoSVector
+
+
+def dimension_breach_probability(margin: float, sharpness: float = 8.0) -> float:
+    """Probability of breaching one dimension given its safety ``margin``.
+
+    ``margin`` > 0 means the expectation clears the bound; at margin 0 the
+    breach probability is 0.5, approaching 0/1 for large |margin|.
+    """
+    if sharpness <= 0:
+        raise ValueError("sharpness must be positive")
+    return float(1.0 / (1.0 + np.exp(sharpness * margin)))
+
+
+def breach_probability(
+    expected: QoSVector,
+    requirement: QoSRequirement,
+    sharpness: float = 8.0,
+    time_scale: float = 10.0,
+) -> float:
+    """Probability that a delivery distributed around ``expected`` breaches.
+
+    Response-time margins are normalised by ``time_scale`` so they are
+    comparable with the unit-interval quality margins.
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    survival = 1.0
+    if requirement.max_response_time is not None:
+        margin = (requirement.max_response_time - expected.response_time) / time_scale
+        survival *= 1.0 - dimension_breach_probability(margin, sharpness)
+    for bound_name, dim in (
+        ("min_completeness", "completeness"),
+        ("min_freshness", "freshness"),
+        ("min_correctness", "correctness"),
+        ("min_trust", "trust"),
+    ):
+        bound = getattr(requirement, bound_name)
+        if bound is None:
+            continue
+        margin = getattr(expected, dim) - bound
+        survival *= 1.0 - dimension_breach_probability(margin, sharpness)
+    return float(np.clip(1.0 - survival, 0.0, 1.0))

@@ -1,0 +1,108 @@
+"""Contract monitoring and settlement bookkeeping.
+
+Tracks every SLA outcome in a run: per-provider breach rates, money flows,
+and the compliance signals forwarded to the reputation system.  "If the
+vegetables are not as fresh as promised, in time, her trust is reduced" —
+the monitor is where delivery quality turns into trust updates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.qos.sla import SLAContract, SLAOutcome
+from repro.qos.vector import QoSVector
+
+ComplianceListener = Callable[[str, float], None]
+
+
+@dataclass
+class ProviderLedger:
+    """Aggregate settlement history for one provider."""
+
+    contracts: int = 0
+    breaches: int = 0
+    revenue: float = 0.0
+    compensation_paid: float = 0.0
+
+    @property
+    def breach_rate(self) -> float:
+        """Fraction of this provider's contracts that breached."""
+        return self.breaches / self.contracts if self.contracts else 0.0
+
+
+class ContractMonitor:
+    """Settles contracts and aggregates outcomes.
+
+    Register compliance listeners (typically
+    ``reputation_system.observe``) to propagate delivery quality into
+    trust scores.
+    """
+
+    def __init__(self) -> None:
+        self._ledgers: Dict[str, ProviderLedger] = defaultdict(ProviderLedger)
+        self._outcomes: List[SLAOutcome] = []
+        self._listeners: List[ComplianceListener] = []
+
+    def on_compliance(self, listener: ComplianceListener) -> None:
+        """Register ``listener(provider_id, compliance in [0,1])``."""
+        self._listeners.append(listener)
+
+    # ------------------------------------------------------------------
+    def settle(self, contract: SLAContract, delivered: QoSVector) -> SLAOutcome:
+        """Settle ``contract`` against ``delivered`` and record the outcome."""
+        outcome = contract.settle(delivered)
+        self._record(outcome)
+        return outcome
+
+    def record_cancellation(self, contract: SLAContract, by_provider: bool) -> SLAOutcome:
+        """Cancel ``contract`` and record the outcome."""
+        outcome = contract.cancel(by_provider)
+        self._record(outcome)
+        return outcome
+
+    def _record(self, outcome: SLAOutcome) -> None:
+        self._outcomes.append(outcome)
+        ledger = self._ledgers[outcome.contract.provider_id]
+        ledger.contracts += 1
+        if outcome.breached:
+            ledger.breaches += 1
+        ledger.revenue += outcome.provider_revenue
+        ledger.compensation_paid += max(0.0, outcome.compensation_paid)
+        for listener in self._listeners:
+            listener(outcome.contract.provider_id, outcome.compliance)
+
+    # ------------------------------------------------------------------
+    def ledger(self, provider_id: str) -> ProviderLedger:
+        """The aggregate ledger of ``provider_id``."""
+        return self._ledgers[provider_id]
+
+    def outcomes(self, provider_id: Optional[str] = None) -> List[SLAOutcome]:
+        """Settled outcomes, optionally filtered by provider."""
+        if provider_id is None:
+            return list(self._outcomes)
+        return [
+            o for o in self._outcomes if o.contract.provider_id == provider_id
+        ]
+
+    @property
+    def total_contracts(self) -> int:
+        """Number of settlements recorded."""
+        return len(self._outcomes)
+
+    @property
+    def overall_breach_rate(self) -> float:
+        """Breach fraction across all recorded settlements."""
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for o in self._outcomes if o.breached) / len(self._outcomes)
+
+    def consumer_spend(self, consumer_id: str) -> float:
+        """Net amount ``consumer_id`` paid across all its contracts."""
+        return sum(
+            o.consumer_net_cost
+            for o in self._outcomes
+            if o.contract.consumer_id == consumer_id
+        )

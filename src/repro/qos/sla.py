@@ -1,0 +1,154 @@
+"""Service-Level Agreement contracts.
+
+The paper (§3): "Open Agoras should model QoS through the use of Service
+Level Agreement (SLA) contracts, which ... are different from 'normal'
+contracts in the QoS premium paid, according to the risk/uncertainty of the
+requested service."  A contract binds a provider to a QoS requirement for a
+price; breaking it triggers compensation to the other party.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.qos.vector import QoSRequirement, QoSVector
+
+_CONTRACT_COUNTER = itertools.count()
+
+
+class ContractState(Enum):
+    """Lifecycle states of an SLA contract."""
+    OPEN = "open"
+    FULFILLED = "fulfilled"
+    BREACHED = "breached"
+    CANCELLED = "cancelled"
+
+
+@dataclass
+class SLAContract:
+    """A signed agreement between a consumer and a provider.
+
+    Attributes
+    ----------
+    provider_id / consumer_id:
+        The contracting parties (overlay node ids).
+    requirement:
+        The QoS bounds the provider promises to meet.
+    base_price:
+        Price of the service itself.
+    premium:
+        Extra paid for the QoS guarantee (the "insurance" part).
+    compensation:
+        Amount the provider pays the consumer per breached contract.
+    cancellation_fee:
+        Paid by whichever party unilaterally cancels.
+    """
+
+    provider_id: str
+    consumer_id: str
+    requirement: QoSRequirement
+    base_price: float
+    premium: float = 0.0
+    compensation: float = 0.0
+    cancellation_fee: float = 0.0
+    signed_at: float = 0.0
+    job_id: Optional[str] = None
+    contract_id: int = field(default_factory=lambda: next(_CONTRACT_COUNTER))
+    state: ContractState = ContractState.OPEN
+
+    def __post_init__(self) -> None:
+        for name in ("base_price", "premium", "compensation", "cancellation_fee"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # ------------------------------------------------------------------
+    @property
+    def total_price(self) -> float:
+        """Base price plus premium."""
+        return self.base_price + self.premium
+
+    def settle(self, delivered: QoSVector) -> "SLAOutcome":
+        """Evaluate delivery against the contract and settle payments.
+
+        Returns the settlement; transitions the contract to FULFILLED or
+        BREACHED.  Settling a non-open contract is an error.
+        """
+        if self.state is not ContractState.OPEN:
+            raise ContractError(f"contract {self.contract_id} is {self.state.value}")
+        violations = self.requirement.violated_dimensions(delivered)
+        breached = bool(violations)
+        self.state = ContractState.BREACHED if breached else ContractState.FULFILLED
+        payout = self.compensation if breached else 0.0
+        return SLAOutcome(
+            contract=self,
+            delivered=delivered,
+            breached=breached,
+            violated_dimensions=violations,
+            consumer_paid=self.total_price,
+            compensation_paid=payout,
+        )
+
+    def cancel(self, by_provider: bool) -> "SLAOutcome":
+        """Unilateral cancellation; the canceller pays the cancellation fee."""
+        if self.state is not ContractState.OPEN:
+            raise ContractError(f"contract {self.contract_id} is {self.state.value}")
+        self.state = ContractState.CANCELLED
+        return SLAOutcome(
+            contract=self,
+            delivered=None,
+            breached=True,
+            violated_dimensions=["cancelled"],
+            consumer_paid=0.0,
+            compensation_paid=self.cancellation_fee if by_provider else -self.cancellation_fee,
+        )
+
+
+class ContractError(RuntimeError):
+    """Raised on invalid contract state transitions."""
+
+
+@dataclass
+class SLAOutcome:
+    """The settlement of one contract.
+
+    ``compensation_paid`` flows provider → consumer when positive and
+    consumer → provider when negative (consumer-side cancellation).
+    """
+
+    contract: SLAContract
+    delivered: Optional[QoSVector]
+    breached: bool
+    violated_dimensions: List[str]
+    consumer_paid: float
+    compensation_paid: float
+
+    @property
+    def consumer_net_cost(self) -> float:
+        """What the consumer ended up paying, net of compensation."""
+        return self.consumer_paid - self.compensation_paid
+
+    @property
+    def provider_revenue(self) -> float:
+        """What the provider netted from this settlement."""
+        return self.consumer_paid - self.compensation_paid
+
+    @property
+    def compliance(self) -> float:
+        """1.0 for a clean delivery, 0.0 for a fully breached one.
+
+        Partial credit per satisfied dimension, used as the reputation
+        outcome signal.
+        """
+        if self.delivered is None:
+            return 0.0
+        total = 5  # number of QoS dimensions
+        return (total - len(self.violated_dimensions)) / total
+
+
+def reset_contract_ids() -> None:
+    """Reset the contract-id counter (tests only)."""
+    global _CONTRACT_COUNTER
+    _CONTRACT_COUNTER = itertools.count()

@@ -1,0 +1,189 @@
+"""Plan execution against live sources.
+
+The executor walks a plan tree, sends each ``Retrieve`` leaf to its
+assigned source, calibrates raw scores into match probabilities, merges
+uncertain result sets, and audits the delivery into a QoS vector via the
+oracle.  Retrieval leaves under one ``Merge`` run *in parallel*: the plan's
+response time is the slowest branch, not the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.qos.vector import QoSVector
+from repro.query.algebra import Merge, PlanNode, Retrieve, Threshold, TopK
+from repro.query.model import Query
+from repro.query.oracle import RelevanceOracle
+from repro.sources.registry import SourceRegistry
+from repro.sources.source import SourceAnswer
+from repro.uncertainty.calibration import BinnedCalibrator
+from repro.uncertainty.results import UncertainMatch, UncertainResultSet
+
+LatencyFn = Callable[[str], float]
+TrustFn = Callable[[str], float]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything the executor needs besides the plan itself.
+
+    Attributes
+    ----------
+    registry:
+        Where live source objects are found.
+    oracle:
+        Audits deliveries (stands in for user judgement).
+    calibrator:
+        Maps raw match scores to probabilities; ``None`` uses the raw
+        score as the probability (the uncalibrated baseline).
+    now:
+        Virtual time of execution.
+    consumer_id:
+        Who is asking (sources may blacklist or decline).
+    latency:
+        Network round-trip time to a source's node; default 0.
+    trust:
+        Consumer's current trust in a source; default 1.
+    """
+
+    registry: SourceRegistry
+    oracle: RelevanceOracle
+    calibrator: Optional[BinnedCalibrator] = None
+    now: float = 0.0
+    consumer_id: str = ""
+    latency: Optional[LatencyFn] = None
+    trust: Optional[TrustFn] = None
+
+    def latency_to(self, source_id: str) -> float:
+        """Network latency to a source (0 without a latency model)."""
+        return self.latency(source_id) if self.latency is not None else 0.0
+
+    def trust_in(self, source_id: str) -> float:
+        """Trust in a source (1 without a trust model)."""
+        return self.trust(source_id) if self.trust is not None else 1.0
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of executing one plan."""
+
+    query: Query
+    results: UncertainResultSet
+    delivered: QoSVector
+    answers: List[SourceAnswer] = field(default_factory=list)
+    declined_sources: List[str] = field(default_factory=list)
+    response_time: float = 0.0
+
+    @property
+    def sources_used(self) -> List[str]:
+        """Sorted sources that actually answered."""
+        return sorted({a.source_id for a in self.answers if not a.declined})
+
+
+class QueryExecutor:
+    """Executes plan trees."""
+
+    def __init__(self, context: ExecutionContext):
+        self.context = context
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: PlanNode, query: Query) -> ExecutionResult:
+        """Run ``plan`` and audit the delivery."""
+        answers: List[SourceAnswer] = []
+        results, elapsed = self._run(plan, answers)
+        declined = sorted(
+            {a.source_id for a in answers if a.declined}
+        )
+        used_sources = sorted({a.source_id for a in answers if not a.declined})
+        trust = (
+            float(np.mean([self.context.trust_in(s) for s in used_sources]))
+            if used_sources
+            else 0.0
+        )
+        reachable = self._reachable_items(plan)
+        delivered = self.context.oracle.delivered_qos(
+            query=query,
+            returned=results.items(),
+            reachable=reachable,
+            response_time=elapsed,
+            now=self.context.now,
+            source_trust=trust,
+        )
+        return ExecutionResult(
+            query=query,
+            results=results,
+            delivered=delivered,
+            answers=answers,
+            declined_sources=declined,
+            response_time=elapsed,
+        )
+
+    def execute_leaf(self, leaf: Retrieve):
+        """Run a single retrieval leaf.
+
+        Returns ``(results, elapsed, answer)`` — used by the collaborative
+        multi-query optimizer to execute shared jobs exactly once.
+        """
+        answers: List[SourceAnswer] = []
+        results, elapsed = self._run_retrieve(leaf, answers)
+        return results, elapsed, answers[0]
+
+    # ------------------------------------------------------------------
+    def _run(self, node: PlanNode, answers: List[SourceAnswer]):
+        if isinstance(node, Retrieve):
+            return self._run_retrieve(node, answers)
+        if isinstance(node, Merge):
+            child_outputs = [self._run(child, answers) for child in node.children]
+            merged = UncertainResultSet()
+            for result_set, __ in child_outputs:
+                merged = merged.merge(result_set)
+            elapsed = max(elapsed for __, elapsed in child_outputs)
+            return merged, elapsed
+        if isinstance(node, Threshold):
+            results, elapsed = self._run(node.child, answers)
+            return results.filter_confidence(node.tau), elapsed
+        if isinstance(node, TopK):
+            results, elapsed = self._run(node.child, answers)
+            return results.top_k(node.k), elapsed
+        raise TypeError(f"unknown plan node {type(node).__name__}")
+
+    def _run_retrieve(self, node: Retrieve, answers: List[SourceAnswer]):
+        context = self.context
+        source = context.registry.source(node.source_id)
+        answer = source.answer(
+            node.subquery, now=context.now, consumer_id=context.consumer_id
+        )
+        answers.append(answer)
+        if answer.declined:
+            return UncertainResultSet(), 0.0
+        matches = []
+        for item, score in answer.matches:
+            score = float(np.clip(score, 0.0, 1.0))
+            if context.calibrator is not None and context.calibrator.is_fitted:
+                probability = context.calibrator.predict(score)
+            else:
+                probability = score
+            matches.append(
+                UncertainMatch(
+                    item=item,
+                    score=score,
+                    probability=probability,
+                    source_id=node.source_id,
+                )
+            )
+        elapsed = answer.service_time + 2.0 * context.latency_to(node.source_id)
+        return UncertainResultSet(matches), elapsed
+
+    def _reachable_items(self, plan: PlanNode) -> List:
+        """All items visible at any source the plan touches (dedup by id)."""
+        context = self.context
+        seen: Dict[str, object] = {}
+        for leaf in plan.leaves():
+            source = context.registry.source(leaf.source_id)
+            for item in source.visible_items(context.now, domain=leaf.subquery.domain):
+                seen.setdefault(item.item_id, item)
+        return list(seen.values())

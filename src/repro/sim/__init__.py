@@ -1,0 +1,27 @@
+"""Discrete-event simulation kernel (substrate).
+
+Public API:
+
+- :class:`Simulator` — the event loop with a virtual clock.
+- :class:`Event`, :class:`EventQueue` — scheduled callbacks.
+- :class:`RngStreams`, :class:`ScopedStreams` — deterministic named RNG streams.
+- :class:`TraceRecorder` — counters, timers and event records.
+"""
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.kernel import SimulationError, Simulator
+from repro.sim.rng import RngStreams, ScopedStreams, derive_seed
+from repro.sim.trace import TimerStats, TraceRecord, TraceRecorder
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "RngStreams",
+    "ScopedStreams",
+    "SimulationError",
+    "Simulator",
+    "TimerStats",
+    "TraceRecord",
+    "TraceRecorder",
+    "derive_seed",
+]

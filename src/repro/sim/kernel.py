@@ -1,0 +1,163 @@
+"""Discrete-event simulation kernel.
+
+The :class:`Simulator` owns a virtual clock and an event queue.  Components
+schedule callbacks with :meth:`Simulator.schedule` (relative delay) or
+:meth:`Simulator.at` (absolute time) and the kernel executes them in
+deterministic time order.  Generator-based processes are supported through
+:meth:`Simulator.process`: the generator yields delays (floats) and is
+resumed after each delay elapses.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.events import Event, EventQueue
+from repro.sim.rng import RngStreams
+from repro.sim.trace import TraceRecorder
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid kernel operations (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for the simulation's random streams (see
+        :class:`repro.sim.rng.RngStreams`).
+    trace:
+        Optional trace recorder; a fresh one is created when omitted.
+
+    Example
+    -------
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None):
+        self.now: float = 0.0
+        self.rng = RngStreams(seed)
+        self.trace = trace if trace is not None else TraceRecorder()
+        self._queue = EventQueue()
+        self._running = False
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self._queue.push(self.now + delay, action, priority=priority, tag=tag)
+
+    def at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute virtual ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        return self._queue.push(time, action, priority=priority, tag=tag)
+
+    def process(self, generator: Generator[float, None, Any], tag: str = "") -> None:
+        """Drive a generator-based process.
+
+        The generator yields non-negative floats interpreted as delays; the
+        kernel resumes the generator after each delay.  The process ends when
+        the generator is exhausted.
+        """
+
+        def step() -> None:
+            try:
+                delay = next(generator)
+            except StopIteration:
+                return
+            if delay < 0:
+                raise SimulationError(f"process yielded negative delay {delay}")
+            self.schedule(delay, step, tag=tag)
+
+        step()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run events in order until the queue drains or limits are reached.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time.
+            The clock is advanced to ``until`` when given.
+        max_events:
+            Stop after processing this many events.
+
+        Returns
+        -------
+        int
+            The number of events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        processed = 0
+        try:
+            while True:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                event = self._queue.pop()
+                assert event is not None
+                self.now = event.time
+                event.action()
+                processed += 1
+        finally:
+            self._running = False
+        if until is not None and until > self.now:
+            self.now = until
+        self._processed += processed
+        return processed
+
+    def step(self) -> bool:
+        """Process a single event; return ``False`` when the queue is empty."""
+        return self.run(max_events=1) == 1
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events in the queue."""
+        return len(self._queue)
+
+    @property
+    def processed(self) -> int:
+        """Total number of events processed over the simulator's lifetime."""
+        return self._processed
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self.now:.3f}, pending={self.pending}, "
+            f"processed={self._processed})"
+        )

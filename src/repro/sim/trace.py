@@ -1,0 +1,115 @@
+"""Trace recording: counters, timers and timestamped event logs.
+
+The :class:`TraceRecorder` is deliberately lightweight — experiments create
+one per run and read the aggregates afterwards.  Records are plain tuples
+so traces can be serialised or compared cheaply in tests.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class TraceRecord:
+    """A single timestamped trace entry."""
+
+    time: float
+    category: str
+    label: str
+    payload: Any = None
+
+
+@dataclass
+class TimerStats:
+    """Aggregate statistics for a named timer."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the aggregate."""
+        self.count += 1
+        self.total += value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class TraceRecorder:
+    """Collects counters, timers and event records for one simulation run."""
+
+    def __init__(self, keep_records: bool = True, max_records: int = 100_000):
+        self._counters: Dict[str, float] = defaultdict(float)
+        self._timers: Dict[str, TimerStats] = defaultdict(TimerStats)
+        self._records: List[TraceRecord] = []
+        self._keep_records = keep_records
+        self._max_records = max_records
+        self._dropped = 0
+
+    # -- counters -------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def counter(self, name: str) -> float:
+        """Return the current value of counter ``name`` (0 if untouched)."""
+        return self._counters.get(name, 0.0)
+
+    def counters(self) -> Dict[str, float]:
+        """Return a snapshot of all counters."""
+        return dict(self._counters)
+
+    # -- timers ----------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record an observation for timer/metric ``name``."""
+        self._timers[name].observe(value)
+
+    def timer(self, name: str) -> TimerStats:
+        """Return aggregate stats for timer ``name``."""
+        return self._timers[name]
+
+    def timers(self) -> Dict[str, TimerStats]:
+        """Snapshot of all timers."""
+        return dict(self._timers)
+
+    # -- records ----------------------------------------------------------
+    def record(self, time: float, category: str, label: str, payload: Any = None) -> None:
+        """Append a timestamped record (subject to the record cap)."""
+        if not self._keep_records:
+            return
+        if len(self._records) >= self._max_records:
+            self._dropped += 1
+            return
+        self._records.append(TraceRecord(time, category, label, payload))
+
+    def records(self, category: Optional[str] = None) -> List[TraceRecord]:
+        """Return records, optionally filtered by ``category``."""
+        if category is None:
+            return list(self._records)
+        return [r for r in self._records if r.category == category]
+
+    @property
+    def dropped_records(self) -> int:
+        """Records dropped after the cap was hit."""
+        return self._dropped
+
+    def summary(self) -> Dict[str, Any]:
+        """Return a compact dictionary summary (counters + timer means)."""
+        return {
+            "counters": self.counters(),
+            "timers": {
+                name: {"count": ts.count, "mean": ts.mean, "min": ts.minimum, "max": ts.maximum}
+                for name, ts in self._timers.items()
+            },
+            "records": len(self._records),
+            "dropped": self._dropped,
+        }

@@ -1,0 +1,115 @@
+"""Source registry: the agora's (imperfect) yellow pages.
+
+Consumers discover sources through advertised descriptors, not ground
+truth.  Descriptors are produced by the sources themselves (with their
+optimism bias) and may be stale — the §2 "identification of appropriate
+resources" uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.qos.vector import QoSVector
+from repro.sources.source import InformationSource
+
+
+@dataclass
+class SourceDescriptor:
+    """The advertised profile of one source, as known to the registry."""
+
+    source_id: str
+    node_id: str
+    domains: Tuple[str, ...]
+    advertised: Dict[str, QoSVector] = field(default_factory=dict)  # per domain
+    advertised_at: float = 0.0
+    trust_class: str = "ordinary"
+
+    def covers(self, domain: str) -> bool:
+        """Whether the descriptor advertises ``domain``."""
+        return domain in self.domains
+
+
+class SourceRegistry:
+    """Directory of advertised source descriptors.
+
+    The registry stores whatever sources last advertised; :meth:`refresh`
+    re-advertises (snapshotting current claims).  Lookups never consult
+    the actual source objects, preserving the advertised/actual gap.
+    """
+
+    def __init__(self) -> None:
+        self._descriptors: Dict[str, SourceDescriptor] = {}
+        self._sources: Dict[str, InformationSource] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, source: InformationSource, now: float = 0.0) -> SourceDescriptor:
+        """Add ``source`` and record its advertised descriptor."""
+        descriptor = SourceDescriptor(
+            source_id=source.source_id,
+            node_id=source.node_id,
+            domains=source.domains,
+            advertised={
+                domain: source.advertised_quality(now, domain)
+                for domain in source.domains
+            },
+            advertised_at=now,
+            trust_class=source.quality.trust_class,
+        )
+        self._descriptors[source.source_id] = descriptor
+        self._sources[source.source_id] = source
+        return descriptor
+
+    def refresh(self, source_id: str, now: float) -> SourceDescriptor:
+        """Re-advertise one source (updates the stored snapshot)."""
+        source = self.source(source_id)
+        return self.register(source, now)
+
+    def deregister(self, source_id: str) -> None:
+        """Remove a source and its descriptor (idempotent)."""
+        self._descriptors.pop(source_id, None)
+        self._sources.pop(source_id, None)
+
+    # ------------------------------------------------------------------
+    def descriptor(self, source_id: str) -> SourceDescriptor:
+        """The stored advertisement of ``source_id``."""
+        try:
+            return self._descriptors[source_id]
+        except KeyError:
+            raise KeyError(f"unknown source {source_id!r}") from None
+
+    def source(self, source_id: str) -> InformationSource:
+        """The live source object (used to actually send it work)."""
+        try:
+            return self._sources[source_id]
+        except KeyError:
+            raise KeyError(f"unknown source {source_id!r}") from None
+
+    def candidates_for(self, domain: str) -> List[SourceDescriptor]:
+        """Descriptors of sources advertising coverage of ``domain``."""
+        return sorted(
+            (d for d in self._descriptors.values() if d.covers(domain)),
+            key=lambda d: d.source_id,
+        )
+
+    def all_descriptors(self) -> List[SourceDescriptor]:
+        """Every stored descriptor, sorted by source id."""
+        return [self._descriptors[k] for k in sorted(self._descriptors)]
+
+    def all_sources(self) -> List[InformationSource]:
+        """Every live source object, sorted by id."""
+        return [self._sources[k] for k in sorted(self._sources)]
+
+    def domains(self) -> List[str]:
+        """All domains advertised by at least one source."""
+        found = set()
+        for descriptor in self._descriptors.values():
+            found.update(descriptor.domains)
+        return sorted(found)
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    def __contains__(self, source_id: str) -> bool:
+        return source_id in self._descriptors

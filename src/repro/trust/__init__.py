@@ -1,0 +1,18 @@
+"""Trust and reputation (cross-cutting; feeds QoS "trust" dimension).
+
+Public API:
+
+- :class:`BetaReputation`, :class:`ReputationSystem` — beta reputation
+  with exponential forgetting.
+- :class:`Blacklist`, :class:`BlacklistRegistry` — banned counterparties.
+"""
+
+from repro.trust.blacklist import Blacklist, BlacklistRegistry
+from repro.trust.reputation import BetaReputation, ReputationSystem
+
+__all__ = [
+    "BetaReputation",
+    "Blacklist",
+    "BlacklistRegistry",
+    "ReputationSystem",
+]

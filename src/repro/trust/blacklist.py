@@ -1,0 +1,63 @@
+"""Blacklists.
+
+Sources in the paper may decline requests "because of ... black-listing of
+Iris's IP address"; symmetrically, consumers stop dealing with providers
+whose trust collapses.  A :class:`Blacklist` is a per-owner set of banned
+counterparties with optional expiry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class Blacklist:
+    """Banned counterparties for one owner (a source or a consumer)."""
+
+    def __init__(self, owner_id: str):
+        self.owner_id = owner_id
+        self._entries: Dict[str, Optional[float]] = {}
+
+    def ban(self, subject_id: str, until: Optional[float] = None) -> None:
+        """Ban ``subject_id``; ``until=None`` is a permanent ban."""
+        self._entries[subject_id] = until
+
+    def lift(self, subject_id: str) -> None:
+        """Remove a ban (idempotent)."""
+        self._entries.pop(subject_id, None)
+
+    def is_banned(self, subject_id: str, now: float = 0.0) -> bool:
+        """True when ``subject_id`` is currently banned (expired bans drop)."""
+        if subject_id not in self._entries:
+            return False
+        until = self._entries[subject_id]
+        if until is not None and now >= until:
+            del self._entries[subject_id]
+            return False
+        return True
+
+    def banned(self, now: float = 0.0) -> List[str]:
+        """Sorted currently banned subjects (expired bans drop)."""
+        return sorted(s for s in list(self._entries) if self.is_banned(s, now))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class BlacklistRegistry:
+    """All blacklists in an agora, keyed by owner."""
+
+    def __init__(self) -> None:
+        self._lists: Dict[str, Blacklist] = {}
+
+    def for_owner(self, owner_id: str) -> Blacklist:
+        """The owner's blacklist (created on first use)."""
+        if owner_id not in self._lists:
+            self._lists[owner_id] = Blacklist(owner_id)
+        return self._lists[owner_id]
+
+    def blocks(self, owner_id: str, subject_id: str, now: float = 0.0) -> bool:
+        """Whether ``owner_id`` currently refuses to deal with ``subject_id``."""
+        if owner_id not in self._lists:
+            return False
+        return self._lists[owner_id].is_banned(subject_id, now)

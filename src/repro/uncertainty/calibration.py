@@ -1,0 +1,170 @@
+"""Score → probability calibration.
+
+Raw similarity scores are not probabilities: "typical metrics used for this
+case are not necessarily capturing the perception that a user has about a
+match" (§2).  The agora therefore calibrates scores against observed match
+labels.  :class:`BinnedCalibrator` estimates the empirical match rate per
+score bin and enforces monotonicity with the pool-adjacent-violators (PAV)
+algorithm — a histogram-binned isotonic regression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+
+def pool_adjacent_violators(values: Sequence[float], weights: Sequence[float]) -> np.ndarray:
+    """Weighted isotonic (non-decreasing) regression via PAV."""
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if values.shape != weights.shape:
+        raise ValueError("values and weights must have the same shape")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    # Each block: [mean, weight, count]; merge while out of order.
+    blocks: List[List[float]] = []
+    for value, weight in zip(values, weights):
+        blocks.append([value, weight, 1])
+        while len(blocks) > 1 and blocks[-2][0] > blocks[-1][0]:
+            mean2, weight2, count2 = blocks.pop()
+            mean1, weight1, count1 = blocks.pop()
+            merged_weight = weight1 + weight2
+            if merged_weight > 0:
+                merged_mean = (mean1 * weight1 + mean2 * weight2) / merged_weight
+            else:
+                merged_mean = (mean1 + mean2) / 2.0
+            blocks.append([merged_mean, merged_weight, count1 + count2])
+    result = np.empty(len(values))
+    index = 0
+    for mean, __, count in blocks:
+        result[index : index + count] = mean
+        index += count
+    return result
+
+
+class BinnedCalibrator:
+    """Histogram-binned isotonic calibration of similarity scores.
+
+    Fit on (score, label) pairs where labels are 1 for true matches.
+    Prediction linearly interpolates between bin centres, so calibrated
+    probabilities vary smoothly with the score.
+    """
+
+    def __init__(self, n_bins: int = 10):
+        if n_bins < 2:
+            raise ValueError("need at least 2 bins")
+        self.n_bins = n_bins
+        self._centres: np.ndarray = np.array([])
+        self._probabilities: np.ndarray = np.array([])
+        self._fitted = False
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` has run."""
+        return self._fitted
+
+    def fit(self, scores: Sequence[float], labels: Sequence[int]) -> "BinnedCalibrator":
+        """Fit bin rates on (score, label) pairs; returns self."""
+        scores = np.asarray(scores, dtype=float)
+        labels = np.asarray(labels, dtype=float)
+        if scores.shape != labels.shape:
+            raise ValueError("scores and labels must have the same length")
+        if scores.size == 0:
+            raise ValueError("cannot fit on an empty sample")
+        if np.any((labels != 0) & (labels != 1)):
+            raise ValueError("labels must be 0 or 1")
+        edges = np.linspace(0.0, 1.0, self.n_bins + 1)
+        centres, rates, weights = [], [], []
+        for low, high in zip(edges[:-1], edges[1:]):
+            if high == 1.0:
+                mask = (scores >= low) & (scores <= high)
+            else:
+                mask = (scores >= low) & (scores < high)
+            if not np.any(mask):
+                continue
+            centres.append((low + high) / 2.0)
+            rates.append(float(labels[mask].mean()))
+            weights.append(float(mask.sum()))
+        if not centres:
+            raise ValueError("no scores fell into [0, 1]")
+        self._centres = np.asarray(centres)
+        self._probabilities = pool_adjacent_violators(rates, weights)
+        self._fitted = True
+        return self
+
+    def predict(self, score: float) -> float:
+        """Calibrated match probability for one score."""
+        if not self._fitted:
+            raise RuntimeError("calibrator is not fitted")
+        return float(
+            np.interp(score, self._centres, self._probabilities)
+        )
+
+    def predict_many(self, scores: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`predict`."""
+        if not self._fitted:
+            raise RuntimeError("calibrator is not fitted")
+        return np.interp(np.asarray(scores, dtype=float), self._centres, self._probabilities)
+
+
+def expected_calibration_error(
+    probabilities: Sequence[float],
+    labels: Sequence[int],
+    n_bins: int = 10,
+) -> float:
+    """ECE: weighted mean |empirical accuracy − mean confidence| per bin."""
+    probabilities = np.asarray(probabilities, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    if probabilities.shape != labels.shape:
+        raise ValueError("probabilities and labels must have the same length")
+    if probabilities.size == 0:
+        return 0.0
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    error = 0.0
+    for low, high in zip(edges[:-1], edges[1:]):
+        if high == 1.0:
+            mask = (probabilities >= low) & (probabilities <= high)
+        else:
+            mask = (probabilities >= low) & (probabilities < high)
+        if not np.any(mask):
+            continue
+        weight = mask.sum() / probabilities.size
+        error += weight * abs(labels[mask].mean() - probabilities[mask].mean())
+    return float(error)
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Summary of calibration quality for one feature set / matcher."""
+
+    feature_set: str
+    ece_raw: float
+    ece_calibrated: float
+    auc: float
+    sample_size: int
+
+
+def ranking_auc(scores: Sequence[float], labels: Sequence[int]) -> float:
+    """Probability that a random positive outscores a random negative."""
+    scores = np.asarray(scores, dtype=float)
+    labels = np.asarray(labels, dtype=int)
+    positives = scores[labels == 1]
+    negatives = scores[labels == 0]
+    if positives.size == 0 or negatives.size == 0:
+        return 0.5
+    # Rank-based (Mann-Whitney) computation.
+    order = np.argsort(np.concatenate([positives, negatives]), kind="mergesort")
+    ranks = np.empty(order.size, dtype=float)
+    ranks[order] = np.arange(1, order.size + 1)
+    # Average ties.
+    combined = np.concatenate([positives, negatives])
+    for value in np.unique(combined):
+        mask = combined == value
+        if mask.sum() > 1:
+            ranks[mask] = ranks[mask].mean()
+    rank_sum = ranks[: positives.size].sum()
+    u_statistic = rank_sum - positives.size * (positives.size + 1) / 2.0
+    return float(u_statistic / (positives.size * negatives.size))

@@ -1,0 +1,136 @@
+"""Uncertain result sets.
+
+Query answers in the agora carry a calibrated match probability per item
+and support possible-worlds semantics: a result set denotes a distribution
+over "true" answer sets, one per assignment of match/no-match to each
+member.  Expected precision/recall and world sampling follow directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.data.items import InformationItem
+
+
+@dataclass(frozen=True)
+class UncertainMatch:
+    """One candidate answer with its uncertainty annotations."""
+
+    item: InformationItem
+    score: float
+    probability: float
+    source_id: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if not 0.0 <= self.score <= 1.0 + 1e-9:
+            raise ValueError("score must be in [0, 1]")
+
+
+class UncertainResultSet:
+    """An ordered collection of uncertain matches.
+
+    Matches are kept sorted by descending probability (ties by score, then
+    item id) so top-k is well defined and deterministic.
+    """
+
+    def __init__(self, matches: Iterable[UncertainMatch] = ()):  # noqa: D401
+        self._matches = sorted(
+            matches,
+            key=lambda m: (-m.probability, -m.score, m.item.item_id),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def matches(self) -> List[UncertainMatch]:
+        """The matches in rank order (a copy)."""
+        return list(self._matches)
+
+    def items(self) -> List[InformationItem]:
+        """Just the items, in rank order."""
+        return [match.item for match in self._matches]
+
+    def __len__(self) -> int:
+        return len(self._matches)
+
+    def __iter__(self):
+        return iter(self._matches)
+
+    def __bool__(self) -> bool:
+        return bool(self._matches)
+
+    # ------------------------------------------------------------------
+    def top_k(self, k: int) -> "UncertainResultSet":
+        """The ``k`` most probable matches."""
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        return UncertainResultSet(self._matches[:k])
+
+    def filter_confidence(self, threshold: float) -> "UncertainResultSet":
+        """Keep matches with probability >= ``threshold``."""
+        return UncertainResultSet(
+            m for m in self._matches if m.probability >= threshold
+        )
+
+    def expected_relevant(self) -> float:
+        """Expected number of true matches in this set."""
+        return sum(m.probability for m in self._matches)
+
+    def expected_precision(self) -> float:
+        """Expected fraction of returned items that truly match."""
+        if not self._matches:
+            return 0.0
+        return self.expected_relevant() / len(self._matches)
+
+    def expected_recall(self, total_relevant: float) -> float:
+        """Expected fraction of all relevant items returned.
+
+        ``total_relevant`` is the (estimated) number of relevant items in
+        the whole agora; values < expected_relevant clip recall at 1.
+        """
+        if total_relevant <= 0:
+            return 1.0 if not self._matches else 0.0
+        return min(1.0, self.expected_relevant() / total_relevant)
+
+    def sample_world(self, rng: np.random.Generator) -> List[InformationItem]:
+        """Draw one possible world: each match included w.p. probability."""
+        return [
+            m.item for m in self._matches if rng.random() < m.probability
+        ]
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "UncertainResultSet") -> "UncertainResultSet":
+        """Union of two result sets.
+
+        Duplicate items (same id, e.g. from overlapping sources) keep the
+        entry with the higher probability — seeing an item twice never
+        lowers confidence in it.
+        """
+        best: Dict[str, UncertainMatch] = {}
+        for match in list(self._matches) + list(other._matches):
+            current = best.get(match.item.item_id)
+            if current is None or match.probability > current.probability:
+                best[match.item.item_id] = match
+        return UncertainResultSet(best.values())
+
+    def reweighted(self, factor: float) -> "UncertainResultSet":
+        """Scale all probabilities by ``factor`` (clipped to [0, 1])."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return UncertainResultSet(
+            replace(m, probability=min(1.0, m.probability * factor))
+            for m in self._matches
+        )
+
+
+def merge_all(result_sets: Sequence[UncertainResultSet]) -> UncertainResultSet:
+    """Merge many result sets (associative, order-independent)."""
+    merged = UncertainResultSet()
+    for result_set in result_sets:
+        merged = merged.merge(result_set)
+    return merged

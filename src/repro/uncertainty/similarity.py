@@ -1,0 +1,109 @@
+"""Similarity primitives over vectors and term bags.
+
+These are the low-level metrics the matching engines build on.  All of
+them return values in [0, 1] where 1 means identical, so scores from
+different metrics can be ensembled and later calibrated to probabilities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine of two vectors mapped to [0, 1] (0.5 = orthogonal)."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na == 0 or nb == 0:
+        return 0.0
+    return float((1.0 + np.dot(a, b) / (na * nb)) / 2.0)
+
+
+def nonnegative_cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine for non-negative vectors (already in [0, 1])."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    na = np.linalg.norm(a)
+    nb = np.linalg.norm(b)
+    if na == 0 or nb == 0:
+        return 0.0
+    return float(np.clip(np.dot(a, b) / (na * nb), 0.0, 1.0))
+
+
+def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard index of two term sets."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    return len(set_a & set_b) / len(union)
+
+
+def weighted_jaccard(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Weighted Jaccard (Ruzicka) similarity of two weighted bags."""
+    keys = set(a) | set(b)
+    if not keys:
+        return 1.0
+    minimum = sum(min(a.get(k, 0.0), b.get(k, 0.0)) for k in keys)
+    maximum = sum(max(a.get(k, 0.0), b.get(k, 0.0)) for k in keys)
+    if maximum == 0:
+        return 1.0
+    return minimum / maximum
+
+
+def sublinear_tf(terms: Mapping[str, int]) -> Dict[str, float]:
+    """Sublinear (1 + log) term-frequency weighting."""
+    return {
+        term: 1.0 + float(np.log(count)) if count > 0 else 0.0
+        for term, count in terms.items()
+        if count > 0
+    }
+
+
+def bag_cosine(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    """Cosine similarity of two sparse weighted bags, in [0, 1]."""
+    if not a or not b:
+        return 0.0
+    shared = set(a) & set(b)
+    dot = sum(a[k] * b[k] for k in shared)
+    norm_a = float(np.sqrt(sum(v * v for v in a.values())))
+    norm_b = float(np.sqrt(sum(v * v for v in b.values())))
+    if norm_a == 0 or norm_b == 0:
+        return 0.0
+    return float(np.clip(dot / (norm_a * norm_b), 0.0, 1.0))
+
+
+class EnsembleSimilarity:
+    """A weighted combination of several score functions.
+
+    Each member is a callable ``(query, candidate) -> float`` in [0, 1].
+    """
+
+    def __init__(self, members: Sequence, weights: Optional[Sequence[float]] = None):
+        if not members:
+            raise ValueError("ensemble needs at least one member")
+        self.members = list(members)
+        if weights is None:
+            weights = [1.0] * len(members)
+        if len(weights) != len(members):
+            raise ValueError("weights must match members")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        self.weights = [w / total for w in weights]
+
+    def __call__(self, query, candidate) -> float:
+        return sum(
+            weight * member(query, candidate)
+            for member, weight in zip(self.members, self.weights)
+        )

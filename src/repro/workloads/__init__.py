@@ -1,0 +1,28 @@
+"""Workload generators: user populations, clicks, queries, the Iris scenario.
+
+Public API:
+
+- :class:`UserPopulationGenerator`, :class:`ClickModel`.
+- :class:`QueryWorkloadGenerator`.
+- :class:`IrisScenario`, :func:`build_iris_scenario`,
+  :func:`iris_profile`, :func:`jason_profile`.
+"""
+
+from repro.workloads.iris import (
+    IrisScenario,
+    build_iris_scenario,
+    iris_profile,
+    jason_profile,
+)
+from repro.workloads.queries import QueryWorkloadGenerator
+from repro.workloads.users import ClickModel, UserPopulationGenerator
+
+__all__ = [
+    "ClickModel",
+    "IrisScenario",
+    "QueryWorkloadGenerator",
+    "UserPopulationGenerator",
+    "build_iris_scenario",
+    "iris_profile",
+    "jason_profile",
+]

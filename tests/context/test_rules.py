@@ -1,0 +1,82 @@
+"""Tests for activation rules and overlays."""
+
+import numpy as np
+import pytest
+
+from repro.context import ActivationRule, Context, ProfileOverlay
+from repro.personalization import UserProfile
+from repro.qos import QoSWeights
+
+
+def _profile():
+    return UserProfile(user_id="iris", interests=np.array([0.5, 0.3, 0.2]))
+
+
+class TestRules:
+    def test_single_condition(self):
+        rule = ActivationRule({"task": "leisure"})
+        assert rule.matches(Context(task="leisure"))
+        assert not rule.matches(Context(task="paper-writing"))
+
+    def test_set_condition(self):
+        rule = ActivationRule({"time_of_day": {"morning", "afternoon"}})
+        assert rule.matches(Context(time_of_day="morning"))
+        assert not rule.matches(Context(time_of_day="evening"))
+
+    def test_conjunction(self):
+        rule = ActivationRule({"task": "leisure", "location": "Paris"})
+        assert rule.matches(Context(task="leisure", location="Paris"))
+        assert not rule.matches(Context(task="leisure", location="Athens"))
+
+    def test_companions_alone(self):
+        rule = ActivationRule({"companions": "alone"})
+        assert rule.matches(Context())
+        assert not rule.matches(Context(companions=("jason",)))
+
+    def test_companions_accompanied(self):
+        rule = ActivationRule({"companions": "accompanied"})
+        assert rule.matches(Context(companions=("jason",)))
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationRule({"mood": "happy"})
+
+    def test_empty_rule_rejected(self):
+        with pytest.raises(ValueError):
+            ActivationRule({})
+
+    def test_specificity(self):
+        assert ActivationRule({"task": "leisure"}).specificity == 1
+        assert ActivationRule({"task": "leisure", "location": "x"}).specificity == 2
+
+
+class TestOverlays:
+    def test_interest_shift(self):
+        overlay = ProfileOverlay(interest_shift=np.array([0.0, 0.0, 1.0]))
+        updated = overlay.apply(_profile())
+        assert np.argmax(updated.interests) == 2
+        assert updated.interests.sum() == pytest.approx(1.0)
+
+    def test_shift_dimension_checked(self):
+        overlay = ProfileOverlay(interest_shift=np.array([1.0]))
+        with pytest.raises(ValueError):
+            overlay.apply(_profile())
+
+    def test_qos_weights_replaced(self):
+        overlay = ProfileOverlay(qos_weights=QoSWeights(response_time=9.0))
+        updated = overlay.apply(_profile())
+        assert updated.qos_weights.response_time == 9.0
+
+    def test_mode_preference_replaced_and_normalised(self):
+        overlay = ProfileOverlay(mode_preference={"query": 1.0, "browse": 3.0, "feed": 0.0})
+        updated = overlay.apply(_profile())
+        assert updated.mode_preference["browse"] == 0.75
+
+    def test_style_replaced(self):
+        overlay = ProfileOverlay(negotiation_style="firm")
+        assert overlay.apply(_profile()).negotiation_style == "firm"
+
+    def test_base_untouched(self):
+        profile = _profile()
+        ProfileOverlay(negotiation_style="firm").apply(profile)
+        assert profile.negotiation_style == "linear"

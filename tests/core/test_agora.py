@@ -1,0 +1,94 @@
+"""Tests for the Agora facade."""
+
+import pytest
+
+from repro import AgoraConfig, build_agora
+
+
+@pytest.fixture(scope="module")
+def agora():
+    return build_agora(seed=11, n_sources=6, items_per_source=25,
+                       calibration_pairs=300)
+
+
+class TestConfig:
+    def test_invalid_sources(self):
+        with pytest.raises(ValueError):
+            AgoraConfig(n_sources=0)
+
+    def test_invalid_topology(self):
+        with pytest.raises(ValueError):
+            AgoraConfig(topology="donut")
+
+    def test_invalid_planner(self):
+        with pytest.raises(ValueError):
+            AgoraConfig(planner="magic")
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            AgoraConfig(coverage_range=(0.9, 0.1))
+
+    def test_builder_rejects_config_plus_overrides(self):
+        with pytest.raises(ValueError):
+            build_agora(AgoraConfig(), seed=3)
+
+
+class TestConstruction:
+    def test_sources_created(self, agora):
+        assert len(agora.sources) == 6
+        census = agora.source_census()
+        assert all(count > 0 for count in census.values())
+
+    def test_domains_covered(self, agora):
+        domains = agora.available_domains()
+        assert "museum" in domains
+        assert len(domains) >= 5  # all iris domains with 6 sources
+
+    def test_registry_consistent(self, agora):
+        assert len(agora.registry) == 6
+        for source_id in agora.sources:
+            assert source_id in agora.registry
+
+    def test_topology_has_consumer_node(self, agora):
+        assert agora.consumer_node() in agora.topology.nodes
+        assert agora.topology.node_count == 7
+
+    def test_calibrator_fitted(self, agora):
+        assert agora.calibrator.is_fitted
+
+    def test_latency_to_source_nonnegative(self, agora):
+        node = agora.consumer_node()
+        for source_id in agora.sources:
+            assert agora.latency_to_source(node, source_id) >= 0.0
+
+    def test_deterministic_given_seed(self):
+        a = build_agora(seed=3, n_sources=4, items_per_source=10, calibration_pairs=0)
+        b = build_agora(seed=3, n_sources=4, items_per_source=10, calibration_pairs=0)
+        assert a.source_census() == b.source_census()
+        assert sorted(a.topology.graph.edges) == sorted(b.topology.graph.edges)
+
+    def test_run_advances_time(self, agora):
+        before = agora.now
+        agora.run(until=before + 5.0)
+        assert agora.now == before + 5.0
+
+
+class TestFeeds:
+    def test_update_streams_wired(self, agora):
+        assert len(agora.update_streams) == 6
+
+    def test_feeds_flow_when_started(self):
+        agora = build_agora(seed=5, n_sources=4, items_per_source=5,
+                            calibration_pairs=0, start_update_streams=True)
+        agora.run(until=50.0)
+        published = sum(stream.published for stream in agora.update_streams)
+        assert published > 0
+        assert agora.feeds.items_screened == published
+
+
+class TestTopologies:
+    @pytest.mark.parametrize("kind", ["random", "small-world", "scale-free", "star"])
+    def test_all_topology_kinds_build(self, kind):
+        agora = build_agora(seed=2, n_sources=5, items_per_source=5,
+                            topology=kind, calibration_pairs=0)
+        assert agora.topology.node_count == 6

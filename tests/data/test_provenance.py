@@ -1,0 +1,35 @@
+"""Tests for provenance chains."""
+
+import pytest
+
+from repro.data import ProvenanceChain, originate
+
+
+class TestProvenance:
+    def test_originate(self):
+        chain = originate("item1", "source-a", time=5.0)
+        assert chain.origin == "source-a"
+        assert chain.current_holder == "source-a"
+        assert chain.length == 1
+
+    def test_extend(self):
+        chain = originate("item1", "source-a", 5.0).extend("broker", 6.0)
+        assert chain.origin == "source-a"
+        assert chain.current_holder == "broker"
+        assert chain.holders() == ("source-a", "broker")
+
+    def test_extend_is_persistent(self):
+        chain = originate("item1", "source-a", 5.0)
+        extended = chain.extend("broker", 6.0)
+        assert chain.length == 1
+        assert extended.length == 2
+
+    def test_time_order_enforced(self):
+        chain = originate("item1", "source-a", 5.0)
+        with pytest.raises(ValueError):
+            chain.extend("broker", 4.0)
+
+    def test_empty_chain(self):
+        chain = ProvenanceChain("item1")
+        assert chain.origin is None
+        assert chain.current_holder is None

@@ -1,0 +1,85 @@
+"""Tests for the annotation service."""
+
+import pytest
+
+from repro.data import Annotation, DomainSpec
+from repro.multimodal import AnnotationService, FeedService
+
+
+def _item(corpus_generator, topic="folk-jewelry", name="museum"):
+    spec = DomainSpec(
+        name=name, topic_prior={topic: 1.0},
+        type_mix={"text": 1.0, "media": 0.0, "compound": 0.0},
+        concentration=0.3,
+    )
+    return corpus_generator.generate(spec, 1)[0]
+
+
+class TestAnnotations:
+    def test_annotate_creates_annotation_item(self, corpus_generator):
+        service = AnnotationService()
+        target = _item(corpus_generator)
+        record = service.annotate("iris", target, text="lovely filigree")
+        assert isinstance(record.annotation, Annotation)
+        assert record.annotation.author_id == "iris"
+        assert record.annotation.target_item_id == target.item_id
+        assert record.standing_id is None  # no feed service attached
+
+    def test_annotation_inherits_target_latent(self, corpus_generator):
+        service = AnnotationService()
+        target = _item(corpus_generator)
+        record = service.annotate("iris", target)
+        assert (record.annotation.latent == target.latent).all()
+
+    def test_auto_compare_registers_standing_query(
+        self, corpus_generator, matching_engine
+    ):
+        feeds = FeedService(matching_engine)
+        service = AnnotationService(feeds=feeds)
+        target = _item(corpus_generator)
+        record = service.annotate("iris", target)
+        assert record.standing_id is not None
+        standing = feeds.standing_query(record.standing_id)
+        assert standing.owner_id == "iris"
+        assert standing.comparison_items == [target]
+
+    def test_annotation_triggers_feed_hits(self, corpus_generator, matching_engine):
+        feeds = FeedService(matching_engine)
+        service = AnnotationService(feeds=feeds)
+        target = _item(corpus_generator)
+        service.annotate("iris", target, comparison_threshold=0.3)
+        similar = _item(corpus_generator, name="auction")
+        feeds.on_new_item("auction-src", similar)
+        assert len(feeds.inbox("iris")) == 1
+
+    def test_extend_comparison(self, corpus_generator, matching_engine):
+        feeds = FeedService(matching_engine)
+        service = AnnotationService(feeds=feeds)
+        target = _item(corpus_generator)
+        record = service.annotate("iris", target)
+        extra = _item(corpus_generator, topic="dance-forms", name="dance")
+        service.extend_comparison("iris", record, extra)
+        standing = feeds.standing_query(record.standing_id)
+        assert len(standing.comparison_items) == 2
+
+    def test_extend_requires_author(self, corpus_generator, matching_engine):
+        feeds = FeedService(matching_engine)
+        service = AnnotationService(feeds=feeds)
+        record = service.annotate("iris", _item(corpus_generator))
+        with pytest.raises(PermissionError):
+            service.extend_comparison("jason", record, _item(corpus_generator))
+
+    def test_extend_without_standing_rejected(self, corpus_generator):
+        service = AnnotationService()
+        record = service.annotate("iris", _item(corpus_generator))
+        with pytest.raises(ValueError):
+            service.extend_comparison("iris", record, _item(corpus_generator))
+
+    def test_annotations_by_author(self, corpus_generator):
+        service = AnnotationService()
+        service.annotate("iris", _item(corpus_generator))
+        service.annotate("iris", _item(corpus_generator))
+        service.annotate("jason", _item(corpus_generator))
+        assert len(service.annotations_by("iris")) == 2
+        assert len(service.records_by("jason")) == 1
+        assert service.annotations_by("nobody") == []

@@ -1,0 +1,116 @@
+"""Tests for multi-modal interaction sessions."""
+
+import numpy as np
+import pytest
+
+from repro.data import InformationItem
+from repro.multimodal import InteractionSession
+from repro.personalization import UserProfile
+
+
+def _item(item_id, topic_index=0):
+    latent = np.zeros(3)
+    latent[topic_index] = 1.0
+    return InformationItem(item_id=item_id, domain="d", latent=latent)
+
+
+def _profile(mode_preference=None):
+    return UserProfile(
+        user_id="iris",
+        interests=np.array([1.0, 0.0, 0.0]),
+        mode_preference=mode_preference or {"query": 0.4, "browse": 0.3, "feed": 0.3},
+    )
+
+
+def _actions(query_items=None, browse_items=None, feed_items=None):
+    return {
+        "query": lambda: list(query_items or []),
+        "browse": lambda: list(browse_items or []),
+        "feed": lambda: list(feed_items or []),
+    }
+
+
+@pytest.fixture
+def session(streams):
+    return InteractionSession(
+        _profile(),
+        _actions(query_items=[_item("q1")], browse_items=[_item("b1")],
+                 feed_items=[_item("f1")]),
+        streams.spawn("s"),
+    )
+
+
+class TestSession:
+    def test_step_records_discoveries(self, session):
+        new = session.step(mode="query")
+        assert [d.item.item_id for d in new] == ["q1"]
+        assert session.steps_taken == 1
+
+    def test_duplicates_not_rediscovered(self, session):
+        session.step(mode="query")
+        assert session.step(mode="query") == []
+        assert len(session.discoveries) == 1
+
+    def test_run_interleaves_modes(self, session):
+        session.run(steps=50)
+        assert session.steps_taken == 50
+        used_modes = {mode for mode, count in session.mode_counts.items() if count > 0}
+        assert len(used_modes) >= 2
+
+    def test_mode_preference_respected(self, streams):
+        profile = _profile({"query": 0.9, "browse": 0.05, "feed": 0.05})
+        session = InteractionSession(
+            profile, _actions(), streams.spawn("pref"),
+        )
+        session.run(steps=100)
+        assert session.mode_counts["query"] > 60
+
+    def test_enabled_modes_restrict(self, streams):
+        session = InteractionSession(
+            _profile(), _actions(query_items=[_item("q1")]),
+            streams.spawn("only"), enabled_modes=["query"],
+        )
+        session.run(steps=10)
+        assert session.mode_counts == {"query": 10}
+
+    def test_unknown_mode_rejected(self, streams):
+        with pytest.raises(ValueError):
+            InteractionSession(
+                _profile(), {"telepathy": lambda: []}, streams.spawn("x"),
+            )
+
+    def test_no_enabled_modes_rejected(self, streams):
+        with pytest.raises(ValueError):
+            InteractionSession(
+                _profile(), _actions(), streams.spawn("x"), enabled_modes=["nothing"],
+            )
+
+    def test_unbound_mode_step_rejected(self, streams):
+        session = InteractionSession(
+            _profile(), {"query": lambda: []}, streams.spawn("x"),
+        )
+        with pytest.raises(KeyError):
+            session.step(mode="browse")
+
+    def test_negative_steps_rejected(self, session):
+        with pytest.raises(ValueError):
+            session.run(-1)
+
+
+class TestTimeToDiscovery:
+    def test_steps_to_find(self, streams):
+        feed_sequence = iter([[_item("f1", 1)], [_item("f2", 0)], [_item("f3", 0)]])
+        session = InteractionSession(
+            _profile(),
+            {"feed": lambda: next(feed_sequence, [])},
+            streams.spawn("ttd"), enabled_modes=["feed"],
+        )
+        session.run(steps=3)
+        is_topic0 = lambda item: item.latent[0] == 1.0
+        assert session.steps_to_find(is_topic0, count=1) == 2
+        assert session.steps_to_find(is_topic0, count=2) == 3
+        assert session.steps_to_find(is_topic0, count=5) is None
+
+    def test_steps_to_find_invalid_count(self, session):
+        with pytest.raises(ValueError):
+            session.steps_to_find(lambda item: True, count=0)

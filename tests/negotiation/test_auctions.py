@@ -1,0 +1,104 @@
+"""Tests for sealed-bid auctions."""
+
+import pytest
+
+from repro.negotiation import (
+    AuctionKind,
+    CallForProposals,
+    Proposal,
+    SealedBidAuction,
+)
+from repro.qos import QoSRequirement, QoSVector, Quote
+
+
+def _cfp():
+    return CallForProposals(
+        job_id="job", domain="museum",
+        requirement=QoSRequirement(min_completeness=0.5),
+        consumer_id="iris",
+    )
+
+
+def _bidder(provider_id, price, quality=0.9, decline=False):
+    def bid(cfp):
+        if decline:
+            return None
+        return Proposal(
+            provider_id=provider_id, cfp=cfp,
+            quote=Quote(base_price=price, premium=0.1 * price,
+                        compensation=2 * price),
+            promised=QoSVector(response_time=1.0, completeness=quality),
+        )
+
+    return bid
+
+
+class TestFirstPrice:
+    def test_cheapest_wins_and_pays_own_bid(self):
+        auction = SealedBidAuction(AuctionKind.FIRST_PRICE)
+        outcome = auction.run(_cfp(), [_bidder("a", 5.0), _bidder("b", 3.0)])
+        assert outcome.winner.provider_id == "b"
+        assert outcome.clearing_price == pytest.approx(3.3)  # 3.0 + 10% premium
+        assert outcome.contract.total_price == pytest.approx(3.3)
+
+    def test_no_bidders(self):
+        outcome = SealedBidAuction().run(_cfp(), [_bidder("a", 5.0, decline=True)])
+        assert not outcome.sold
+        assert outcome.contract is None
+
+
+class TestSecondPrice:
+    def test_winner_pays_runner_up_price(self):
+        auction = SealedBidAuction(AuctionKind.SECOND_PRICE)
+        outcome = auction.run(_cfp(), [_bidder("a", 5.0), _bidder("b", 3.0)])
+        assert outcome.winner.provider_id == "b"
+        assert outcome.clearing_price == pytest.approx(5.5)  # runner-up's total
+        assert outcome.contract.total_price == pytest.approx(5.5)
+
+    def test_single_bidder_capped_by_reserve(self):
+        auction = SealedBidAuction(AuctionKind.SECOND_PRICE, reserve_price=4.0)
+        outcome = auction.run(_cfp(), [_bidder("solo", 2.0)])
+        assert outcome.sold
+        assert outcome.clearing_price <= 4.0
+
+    def test_winner_never_pays_less_than_first_price(self):
+        bidders = [_bidder("a", 5.0), _bidder("b", 3.0), _bidder("c", 4.0)]
+        first = SealedBidAuction(AuctionKind.FIRST_PRICE).run(_cfp(), bidders)
+        second = SealedBidAuction(AuctionKind.SECOND_PRICE).run(_cfp(), bidders)
+        assert second.clearing_price >= first.clearing_price
+
+
+class TestScreening:
+    def test_reserve_rejects_expensive_bids(self):
+        auction = SealedBidAuction(reserve_price=2.0)
+        outcome = auction.run(_cfp(), [_bidder("pricey", 5.0)])
+        assert not outcome.sold
+        assert outcome.bids == []
+
+    def test_qualifier_filters(self):
+        auction = SealedBidAuction(
+            qualifier=lambda p: p.promised.completeness >= 0.8,
+        )
+        outcome = auction.run(
+            _cfp(), [_bidder("shallow", 1.0, quality=0.4),
+                     _bidder("deep", 4.0, quality=0.9)],
+        )
+        assert outcome.winner.provider_id == "deep"
+
+    def test_tie_broken_by_provider_id(self):
+        outcome = SealedBidAuction().run(
+            _cfp(), [_bidder("b", 3.0), _bidder("a", 3.0)],
+        )
+        assert outcome.winner.provider_id == "a"
+
+    def test_invalid_reserve(self):
+        with pytest.raises(ValueError):
+            SealedBidAuction(reserve_price=0.0)
+
+    def test_contract_splits_price_proportionally(self):
+        auction = SealedBidAuction(AuctionKind.SECOND_PRICE)
+        outcome = auction.run(_cfp(), [_bidder("a", 5.0), _bidder("b", 3.0)])
+        contract = outcome.contract
+        # base:premium stays 10:1 after rescaling to the clearing price.
+        assert contract.premium / contract.base_price == pytest.approx(0.1)
+        assert contract.compensation == pytest.approx(6.0)  # unscaled

@@ -1,0 +1,141 @@
+"""Tests for the contract-net protocol and subcontracting."""
+
+import pytest
+
+from repro.negotiation import (
+    CallForProposals,
+    ContractNetProtocol,
+    Intermediary,
+    Proposal,
+    consumer_bid_score,
+)
+from repro.qos import QoSRequirement, QoSVector, QoSWeights, Quote
+
+
+def _cfp(job_id="job-1"):
+    return CallForProposals(
+        job_id=job_id,
+        domain="museum",
+        requirement=QoSRequirement(min_completeness=0.5),
+        consumer_id="iris",
+    )
+
+
+def _bidder(provider_id, price, quality, decline=False):
+    def bid(cfp):
+        if decline:
+            return None
+        return Proposal(
+            provider_id=provider_id,
+            cfp=cfp,
+            quote=Quote(base_price=price, premium=0.5, compensation=price),
+            promised=QoSVector(response_time=1.0, completeness=quality),
+        )
+
+    return bid
+
+
+def _protocol(min_score=0.0):
+    return ContractNetProtocol(
+        consumer_bid_score(QoSWeights(), price_sensitivity=0.05),
+        min_score=min_score,
+    )
+
+
+class TestContractNet:
+    def test_awards_best_bid(self):
+        outcome = _protocol().run(
+            _cfp(),
+            [_bidder("cheap-good", 1.0, 0.9), _bidder("pricey-bad", 9.0, 0.5)],
+        )
+        assert outcome.awarded.provider_id == "cheap-good"
+        assert outcome.contract is not None
+        assert outcome.contract.provider_id == "cheap-good"
+
+    def test_no_bidders(self):
+        outcome = _protocol().run(_cfp(), [])
+        assert outcome.awarded is None
+        assert outcome.contract is None
+
+    def test_all_decline(self):
+        outcome = _protocol().run(_cfp(), [_bidder("x", 1.0, 0.9, decline=True)])
+        assert outcome.awarded is None
+        assert outcome.bidders == 0
+
+    def test_min_score_rejects_bad_market(self):
+        outcome = _protocol(min_score=5.0).run(_cfp(), [_bidder("only", 1.0, 0.9)])
+        assert outcome.awarded is None
+        assert outcome.bidders == 1
+
+    def test_contract_mirrors_quote(self):
+        outcome = _protocol().run(_cfp(), [_bidder("p", 2.0, 0.9)])
+        contract = outcome.contract
+        assert contract.base_price == 2.0
+        assert contract.premium == 0.5
+        assert contract.compensation == 2.0
+        assert contract.job_id == "job-1"
+
+    def test_award_hook_fires(self):
+        protocol = _protocol()
+        events = []
+        protocol.on_award(lambda proposal, contract: events.append(proposal.provider_id))
+        protocol.run(_cfp(), [_bidder("p", 2.0, 0.9)])
+        assert events == ["p"]
+
+    def test_tie_broken_by_price_then_name(self):
+        outcome = _protocol().run(
+            _cfp(),
+            [_bidder("b", 1.0, 0.9), _bidder("a", 1.0, 0.9)],
+        )
+        assert outcome.awarded.provider_id == "a"
+
+    def test_negative_price_sensitivity_rejected(self):
+        with pytest.raises(ValueError):
+            consumer_bid_score(QoSWeights(), price_sensitivity=-1.0)
+
+
+class TestIntermediary:
+    def test_intermediary_resells_with_markup(self):
+        inner = _protocol()
+        broker = Intermediary("broker", [_bidder("src", 2.0, 0.9)], inner, margin=0.5)
+        proposal = broker(_cfp())
+        assert proposal is not None
+        assert proposal.provider_id == "broker"
+        assert proposal.subcontracted
+        assert proposal.quote.base_price == pytest.approx(3.0)
+        assert proposal.chain_depth == 1
+
+    def test_intermediary_with_no_downstream_market(self):
+        broker = Intermediary("broker", [], _protocol())
+        assert broker(_cfp()) is None
+
+    def test_back_to_back_contracts_on_award(self):
+        inner = _protocol()
+        broker = Intermediary("broker", [_bidder("src", 2.0, 0.9)], inner, margin=0.5)
+        outer = _protocol()
+        outer.on_award(broker.on_award)
+        outcome = outer.run(_cfp(), [broker])
+        assert outcome.contract.provider_id == "broker"
+        assert len(broker.records) == 1
+        record = broker.records[0]
+        assert record.inner.provider_id == "src"
+        assert record.margin_earned > 0
+
+    def test_chain_depth_limit(self):
+        inner = _protocol()
+        level0 = _bidder("src", 2.0, 0.9)
+        broker1 = Intermediary("b1", [level0], inner, max_depth=2)
+        broker2 = Intermediary("b2", [broker1], _protocol(), max_depth=2)
+        # broker2 would create a chain of depth 2, which is >= max_depth.
+        assert broker2(_cfp()) is None
+
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            Intermediary("b", [], _protocol(), margin=-0.1)
+
+    def test_broker_beaten_by_direct_source(self):
+        """A direct bid wins over the same bid marked up by a broker."""
+        direct = _bidder("src", 2.0, 0.9)
+        broker = Intermediary("broker", [_bidder("src2", 2.0, 0.9)], _protocol(), margin=0.5)
+        outcome = _protocol().run(_cfp(), [direct, broker])
+        assert outcome.awarded.provider_id == "src"

@@ -1,0 +1,90 @@
+"""Tests for concession strategies."""
+
+import pytest
+
+from repro.negotiation import (
+    FirmStrategy,
+    TimeDependentStrategy,
+    TitForTatStrategy,
+    boulware,
+    conceder,
+    linear,
+    standard_strategy_suite,
+)
+
+FLOOR = 0.3
+
+
+class TestTimeDependent:
+    def test_starts_high_ends_at_floor(self):
+        strategy = linear()
+        assert strategy.target(0.0, FLOOR, []) == pytest.approx(0.95)
+        assert strategy.target(1.0, FLOOR, []) == pytest.approx(FLOOR)
+
+    def test_targets_monotone_decreasing(self):
+        for strategy in (boulware(), conceder(), linear()):
+            targets = [strategy.target(t / 10, FLOOR, []) for t in range(11)]
+            assert all(a >= b - 1e-12 for a, b in zip(targets, targets[1:]))
+
+    def test_boulware_above_conceder_midway(self):
+        t = 0.5
+        assert boulware().target(t, FLOOR, []) > conceder().target(t, FLOOR, [])
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            TimeDependentStrategy(e=0.0)
+
+    def test_boulware_range_check(self):
+        with pytest.raises(ValueError):
+            boulware(e=1.5)
+
+    def test_conceder_range_check(self):
+        with pytest.raises(ValueError):
+            conceder(e=0.5)
+
+    def test_invalid_time(self):
+        with pytest.raises(ValueError):
+            linear().target(1.5, FLOOR, [])
+
+
+class TestTitForTat:
+    def test_firm_against_firm_opponent(self):
+        strategy = TitForTatStrategy()
+        # Opponent offered us constant utility — no concessions to mirror.
+        history = [0.2, 0.2, 0.2]
+        assert strategy.target(0.5, FLOOR, history) == pytest.approx(0.95)
+
+    def test_mirrors_concessions(self):
+        strategy = TitForTatStrategy(reciprocity=1.0)
+        history = [0.2, 0.3, 0.45]  # opponent conceded 0.25 total
+        assert strategy.target(0.5, FLOOR, history) == pytest.approx(0.95 - 0.25)
+
+    def test_never_below_floor(self):
+        strategy = TitForTatStrategy(reciprocity=10.0)
+        history = [0.1, 0.9]
+        assert strategy.target(0.5, FLOOR, history) == FLOOR
+
+    def test_ignores_opponent_toughening(self):
+        strategy = TitForTatStrategy()
+        history = [0.5, 0.2]  # opponent got tougher
+        assert strategy.target(0.5, FLOOR, history) == pytest.approx(0.95)
+
+    def test_invalid_reciprocity(self):
+        with pytest.raises(ValueError):
+            TitForTatStrategy(reciprocity=-1.0)
+
+
+class TestFirm:
+    def test_never_concedes(self):
+        strategy = FirmStrategy()
+        for t in (0.0, 0.5, 1.0):
+            assert strategy.target(t, FLOOR, [0.1, 0.5]) == pytest.approx(0.95)
+
+
+class TestSuite:
+    def test_suite_has_five_strategies(self):
+        assert len(standard_strategy_suite()) == 5
+
+    def test_suite_names_unique(self):
+        names = [s.name for s in standard_strategy_suite()]
+        assert len(set(names)) == 5

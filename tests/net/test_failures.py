@@ -1,0 +1,102 @@
+"""Tests for churn and load models."""
+
+import pytest
+
+from repro.net import ChurnSpec, LoadModel, LoadSpec, NodeHealth
+from repro.sim import RngStreams, Simulator
+
+
+class TestNodeHealth:
+    def test_nodes_start_up(self):
+        sim = Simulator()
+        health = NodeHealth(sim, ["a", "b"], sim.rng.spawn("h"), enabled=False)
+        assert health.is_up("a")
+        assert health.availability() == 1.0
+
+    def test_set_state(self):
+        sim = Simulator()
+        health = NodeHealth(sim, ["a", "b"], sim.rng.spawn("h"), enabled=False)
+        health.set_state("a", False)
+        assert not health.is_up("a")
+        assert health.up_nodes() == ["b"]
+        assert health.availability() == 0.5
+
+    def test_unknown_node(self):
+        sim = Simulator()
+        health = NodeHealth(sim, ["a"], sim.rng.spawn("h"), enabled=False)
+        with pytest.raises(KeyError):
+            health.set_state("z", False)
+        assert health.is_up("z") is False
+
+    def test_listeners_fire_on_change(self):
+        sim = Simulator()
+        health = NodeHealth(sim, ["a"], sim.rng.spawn("h"), enabled=False)
+        changes = []
+        health.on_change(lambda node, up: changes.append((node, up)))
+        health.set_state("a", False)
+        health.set_state("a", False)  # no-op
+        health.set_state("a", True)
+        assert changes == [("a", False), ("a", True)]
+
+    def test_churn_produces_transitions(self):
+        sim = Simulator(seed=2)
+        spec = ChurnSpec(mean_uptime=10.0, mean_downtime=5.0)
+        NodeHealth(sim, [f"n{i}" for i in range(10)], sim.rng.spawn("h"), spec=spec)
+        sim.run(until=100.0)
+        assert sim.trace.counter("net.churn_transitions") > 0
+
+    def test_invalid_churn_spec(self):
+        with pytest.raises(ValueError):
+            ChurnSpec(mean_uptime=0.0)
+
+
+class TestLoadModel:
+    def _model(self, capacity=4.0):
+        return LoadModel(
+            ["a", "b"], RngStreams(1).spawn("l"), LoadSpec(capacity=capacity)
+        )
+
+    def test_begin_end(self):
+        model = self._model()
+        model.begin("a")
+        model.begin("a")
+        assert model.load("a") == 2.0
+        model.end("a")
+        assert model.load("a") == 1.0
+
+    def test_load_never_negative(self):
+        model = self._model()
+        model.end("a")
+        assert model.load("a") == 0.0
+
+    def test_unknown_node(self):
+        model = self._model()
+        with pytest.raises(KeyError):
+            model.begin("z")
+
+    def test_decline_probability_monotone_in_load(self):
+        model = self._model(capacity=2.0)
+        p_idle = model.decline_probability("a")
+        for __ in range(6):
+            model.begin("a")
+        p_loaded = model.decline_probability("a")
+        assert p_loaded > p_idle
+        assert p_loaded > 0.9
+
+    def test_idle_node_rarely_declines(self):
+        model = self._model(capacity=10.0)
+        declines = sum(model.declines("a") for __ in range(200))
+        assert declines < 20
+
+    def test_slowdown_grows_with_load(self):
+        model = self._model(capacity=2.0)
+        base = model.service_slowdown("a")
+        for __ in range(4):
+            model.begin("a")
+        assert model.service_slowdown("a") > base
+
+    def test_invalid_spec(self):
+        with pytest.raises(ValueError):
+            LoadSpec(capacity=0.0)
+        with pytest.raises(ValueError):
+            LoadSpec(decline_sharpness=-1.0)

@@ -1,0 +1,94 @@
+"""Tests for candidate enumeration."""
+
+import pytest
+
+from repro.data import DomainSpec
+from repro.optimizer import CandidateEnumerator, discount_by_trust
+from repro.qos import QoSVector
+from repro.sources import SourceQuality, SourceRegistry
+from repro.trust import ReputationSystem
+
+from tests.conftest import make_source, make_topic_query
+
+
+@pytest.fixture
+def registry(corpus_generator, matching_engine, streams):
+    registry = SourceRegistry()
+    museum = DomainSpec(name="museum", topic_prior={"folk-jewelry": 1.0})
+    auction = DomainSpec(name="auction", topic_prior={"auction-market": 1.0})
+    for source_id, spec in [("m1", museum), ("m2", museum), ("a1", auction)]:
+        registry.register(
+            make_source(source_id, corpus_generator, matching_engine, streams,
+                        domain_spec=spec)
+        )
+    return registry
+
+
+class TestDiscount:
+    def test_full_trust_keeps_claims(self):
+        advertised = QoSVector(response_time=2.0, completeness=0.8)
+        discounted = discount_by_trust(advertised, trust=1.0)
+        assert discounted.completeness == pytest.approx(0.8)
+        assert discounted.response_time == pytest.approx(2.0)
+
+    def test_zero_trust_discounts_hard(self):
+        advertised = QoSVector(response_time=2.0, completeness=0.8)
+        discounted = discount_by_trust(advertised, trust=0.0, skepticism=0.6)
+        assert discounted.completeness == pytest.approx(0.8 * 0.4)
+        assert discounted.response_time > 2.0
+
+    def test_trust_dimension_set_to_trust(self):
+        discounted = discount_by_trust(QoSVector(), trust=0.3)
+        assert discounted.trust == 0.3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            discount_by_trust(QoSVector(), trust=1.5)
+        with pytest.raises(ValueError):
+            discount_by_trust(QoSVector(), trust=0.5, skepticism=2.0)
+
+
+class TestEnumerator:
+    def test_candidates_per_job(self, registry, topic_space, vocabulary):
+        enumerator = CandidateEnumerator(registry)
+        query = make_topic_query(topic_space, vocabulary, "folk-jewelry")
+        table = enumerator.candidate_table(query)
+        assert set(table) == {f"q{query.query_id}:museum", f"q{query.query_id}:auction"}
+        museum_job = table[f"q{query.query_id}:museum"]
+        assert sorted(c.source_id for c in museum_job) == ["m1", "m2"]
+
+    def test_target_domains_respected(self, registry, topic_space, vocabulary):
+        enumerator = CandidateEnumerator(registry)
+        query = make_topic_query(
+            topic_space, vocabulary, "folk-jewelry",
+            target_domains=("museum",),
+        )
+        table = enumerator.candidate_table(query)
+        assert len(table) == 1
+
+    def test_reputation_lowers_expectations(self, registry, topic_space, vocabulary):
+        reputation = ReputationSystem()
+        for __ in range(10):
+            reputation.observe("m1", 0.0)  # m1 has burned us
+            reputation.observe("m2", 1.0)
+        enumerator = CandidateEnumerator(registry, reputation)
+        query = make_topic_query(topic_space, vocabulary, "folk-jewelry")
+        table = enumerator.candidate_table(query)
+        museum = {c.source_id: c for c in table[f"q{query.query_id}:museum"]}
+        assert museum["m2"].expected.completeness > museum["m1"].expected.completeness
+        assert museum["m2"].breach_risk <= museum["m1"].breach_risk + 1e-9
+
+    def test_breach_risk_in_range(self, registry, topic_space, vocabulary):
+        enumerator = CandidateEnumerator(registry)
+        query = make_topic_query(topic_space, vocabulary, "folk-jewelry")
+        for candidates in enumerator.candidate_table(query).values():
+            for candidate in candidates:
+                assert 0.0 <= candidate.breach_risk <= 1.0
+
+    def test_unreachable_domain_omitted(self, registry, topic_space, vocabulary):
+        enumerator = CandidateEnumerator(registry)
+        query = make_topic_query(
+            topic_space, vocabulary, "folk-jewelry",
+            target_domains=("no-such-domain",),
+        )
+        assert enumerator.candidate_table(query) == {}

@@ -1,0 +1,115 @@
+"""Tests for Pareto utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import TextDocument
+from repro.optimizer import (
+    CandidateAssignment,
+    CandidatePlan,
+    PlanEvaluation,
+    dominates,
+    hypervolume,
+    pareto_front,
+    regret,
+)
+from repro.qos import QoSVector
+from repro.query import Query, QueryKind
+from repro.uncertainty import UncertainEstimate
+
+
+def _evaluation(utility, price):
+    query = Query(
+        kind=QueryKind.SIMILARITY,
+        reference_item=TextDocument(
+            item_id=f"ref-{utility}-{price}", domain="museum",
+            latent=np.array([1.0]), terms={"w00001": 1},
+        ),
+    )
+    assignment = CandidateAssignment(
+        subquery=query.restricted_to("museum"),
+        source_id="s1",
+        expected=QoSVector(),
+        cost=UncertainEstimate.exact(price),
+        breach_risk=0.0,
+    )
+    plan = CandidatePlan({"j1": [assignment]})
+    return PlanEvaluation(
+        plan=plan, qos=QoSVector(), price=price, utility=utility,
+        risk_adjusted_utility=utility, breach_risk=0.0,
+    )
+
+
+class TestDominance:
+    def test_better_both_dominates(self):
+        assert dominates(_evaluation(0.9, 1.0), _evaluation(0.5, 2.0))
+
+    def test_tradeoff_incomparable(self):
+        a = _evaluation(0.9, 5.0)
+        b = _evaluation(0.5, 1.0)
+        assert not dominates(a, b)
+        assert not dominates(b, a)
+
+    def test_equal_not_dominating(self):
+        a = _evaluation(0.5, 1.0)
+        b = _evaluation(0.5, 1.0)
+        assert not dominates(a, b)
+
+
+class TestFront:
+    def test_front_filters_dominated(self):
+        evaluations = [
+            _evaluation(0.9, 1.0),
+            _evaluation(0.5, 2.0),  # dominated
+            _evaluation(0.95, 3.0),
+        ]
+        front = pareto_front(evaluations)
+        utilities = [e.utility for e in front]
+        assert 0.5 not in utilities
+        assert len(front) == 2
+
+    def test_front_sorted_by_utility(self):
+        front = pareto_front([_evaluation(0.3, 0.1), _evaluation(0.9, 5.0)])
+        assert front[0].utility == 0.9
+
+    def test_duplicates_collapsed(self):
+        front = pareto_front([_evaluation(0.5, 1.0), _evaluation(0.5, 1.0)])
+        assert len(front) == 1
+
+    def test_empty_front(self):
+        assert pareto_front([]) == []
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        volume = hypervolume([_evaluation(0.5, 2.0)], reference_price=10.0)
+        assert volume == pytest.approx((10.0 - 2.0) * 0.5)
+
+    def test_second_point_adds_volume(self):
+        one = hypervolume([_evaluation(0.5, 2.0)], reference_price=10.0)
+        two = hypervolume(
+            [_evaluation(0.5, 2.0), _evaluation(0.9, 6.0)], reference_price=10.0
+        )
+        assert two > one
+
+    def test_points_beyond_reference_ignored(self):
+        volume = hypervolume([_evaluation(0.5, 20.0)], reference_price=10.0)
+        assert volume == 0.0
+
+    def test_invalid_reference(self):
+        with pytest.raises(ValueError):
+            hypervolume([], reference_price=0.0)
+
+
+class TestRegret:
+    def test_chosen_best_no_regret(self):
+        evaluations = [_evaluation(0.9, 1.0), _evaluation(0.5, 1.0)]
+        assert regret(evaluations[0], evaluations) == 0.0
+
+    def test_regret_is_gap(self):
+        evaluations = [_evaluation(0.9, 1.0), _evaluation(0.5, 1.0)]
+        assert regret(evaluations[1], evaluations) == pytest.approx(0.4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            regret(_evaluation(0.5, 1.0), [])

@@ -1,0 +1,108 @@
+"""Tests for behavioural learning (risk attitudes, negotiation styles)."""
+
+import numpy as np
+import pytest
+
+from repro.negotiation import FirmStrategy, boulware, conceder, linear
+from repro.personalization import (
+    ObservedChoice,
+    RiskAttitudeLearner,
+    classify_negotiation_style,
+    fit_concession_exponent,
+    trace_from_strategy,
+)
+from repro.uncertainty import risk_averse, risk_neutral, risk_seeking
+
+SAFE = ([0.6], [1.0])
+RISKY = ([0.95, 0.25], [0.5, 0.5])  # EV = 0.6: separates attitudes cleanly
+
+
+def _simulate_choices(profile, learner, n=40, seed=0):
+    """A user choosing between SAFE and RISKY by certainty equivalent."""
+    rng = np.random.default_rng(seed)
+    for __ in range(n):
+        safe_ce = profile.certainty_equivalent(*SAFE)
+        risky_ce = profile.certainty_equivalent(*RISKY)
+        # Small decision noise keeps the data realistic.
+        noisy = [safe_ce + rng.normal(0, 0.01), risky_ce + rng.normal(0, 0.01)]
+        learner.observe_choice([SAFE, RISKY], int(np.argmax(noisy)))
+
+
+class TestRiskAttitudeLearner:
+    def test_no_data_neutral(self):
+        assert RiskAttitudeLearner().estimate().aversion == 0.0
+
+    def test_recovers_aversion_sign(self):
+        for truth, expected_name in [
+            (risk_averse(5.0), "averse"),
+            (risk_seeking(5.0), "seeking"),
+        ]:
+            learner = RiskAttitudeLearner()
+            _simulate_choices(truth, learner)
+            estimate = learner.estimate()
+            assert estimate.name == expected_name
+            assert np.sign(estimate.aversion) == np.sign(truth.aversion)
+
+    def test_neutral_user_estimated_near_zero(self):
+        learner = RiskAttitudeLearner()
+        _simulate_choices(risk_neutral(), learner, n=60)
+        assert abs(learner.estimate().aversion) <= 2.0
+
+    def test_likelihood_peaks_near_truth(self):
+        learner = RiskAttitudeLearner()
+        _simulate_choices(risk_averse(5.0), learner)
+        ll_true = learner.log_likelihood(5.0)
+        ll_wrong = learner.log_likelihood(-5.0)
+        assert ll_true > ll_wrong
+
+    def test_observation_count(self):
+        learner = RiskAttitudeLearner()
+        learner.observe_choice([SAFE, RISKY], 0)
+        assert learner.observations == 1
+
+    def test_invalid_choice(self):
+        with pytest.raises(ValueError):
+            ObservedChoice((SAFE,), 0)  # needs two options
+        with pytest.raises(ValueError):
+            ObservedChoice((SAFE, RISKY), 5)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RiskAttitudeLearner(choice_sharpness=0.0)
+        with pytest.raises(ValueError):
+            RiskAttitudeLearner(grid=[])
+
+
+FLOOR = 0.25
+
+
+class TestStyleRecovery:
+    @pytest.mark.parametrize("strategy,expected", [
+        (boulware(), "boulware"),
+        (conceder(), "conceder"),
+        (linear(), "linear"),
+        (FirmStrategy(), "firm"),
+    ])
+    def test_classifies_named_strategies(self, strategy, expected):
+        trace = trace_from_strategy(strategy, FLOOR)
+        assert classify_negotiation_style(trace, FLOOR) == expected
+
+    def test_exponent_recovered_numerically(self):
+        trace = trace_from_strategy(boulware(e=0.3), FLOOR)
+        exponent = fit_concession_exponent(trace, FLOOR)
+        assert exponent == pytest.approx(0.3, abs=0.05)
+
+    def test_firm_trace_has_no_exponent(self):
+        trace = trace_from_strategy(FirmStrategy(), FLOOR)
+        assert fit_concession_exponent(trace, FLOOR) is None
+
+    def test_empty_trace_is_firm(self):
+        assert classify_negotiation_style([], FLOOR) == "firm"
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            fit_concession_exponent([], floor=0.95, start=0.95)
+
+    def test_trace_sampler_validation(self):
+        with pytest.raises(ValueError):
+            trace_from_strategy(linear(), FLOOR, samples=0)

@@ -1,0 +1,113 @@
+"""Tests for multi-source profile integration."""
+
+import numpy as np
+import pytest
+
+from repro.personalization import (
+    LocalProfile,
+    UserProfile,
+    integrate_profiles,
+    integrated_profile,
+)
+
+
+def _local(source, interests, confidence=1.0, observed_at=0.0, user="iris"):
+    return LocalProfile(
+        source_id=source, user_id=user,
+        interests=np.asarray(interests, float),
+        confidence=confidence, observed_at=observed_at,
+    )
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_profiles([])
+
+    def test_mixed_users_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_profiles([
+                _local("a", [1, 0], user="iris"),
+                _local("b", [1, 0], user="jason"),
+            ])
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            integrate_profiles([
+                _local("a", [1, 0]),
+                _local("b", [1, 0, 0]),
+            ])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            _local("a", [1, 0], confidence=0.0)
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            integrate_profiles([_local("a", [1, 0])], recency_half_life=0.0)
+
+
+class TestMerging:
+    def test_consistent_profiles_average(self):
+        report = integrate_profiles([
+            _local("a", [0.6, 0.4]),
+            _local("b", [0.6, 0.4]),
+        ])
+        np.testing.assert_allclose(report.merged_interests, [0.6, 0.4])
+        assert report.consistent
+
+    def test_confidence_weights_votes(self):
+        report = integrate_profiles([
+            _local("a", [1.0, 0.0], confidence=9.0),
+            _local("b", [0.5, 0.5], confidence=1.0),
+        ], inconsistency_tolerance=10.0)  # suppress inconsistency handling
+        assert report.merged_interests[0] > 0.9
+
+    def test_recency_decays_stale_sources(self):
+        report = integrate_profiles([
+            _local("stale", [1.0, 0.0], observed_at=0.0),
+            _local("fresh", [0.0, 1.0], observed_at=1000.0),
+        ], now=1000.0, recency_half_life=50.0, inconsistency_tolerance=10.0)
+        assert report.merged_interests[1] > 0.9
+
+    def test_inconsistency_detected_and_resolved_by_recency(self):
+        report = integrate_profiles([
+            _local("old-view", [0.9, 0.1], observed_at=0.0),
+            _local("new-view", [0.1, 0.9], observed_at=100.0),
+        ], now=100.0)
+        assert not report.consistent
+        # The fresher source wins the contested topics.
+        assert np.argmax(report.merged_interests) == 1
+
+    def test_merged_is_normalised(self):
+        report = integrate_profiles([
+            _local("a", [0.7, 0.3]),
+            _local("b", [0.2, 0.8]),
+        ])
+        assert report.merged_interests.sum() == pytest.approx(1.0)
+
+    def test_sources_reported(self):
+        report = integrate_profiles([
+            _local("b", [1, 0]),
+            _local("a", [1, 0]),
+        ])
+        assert report.sources_used == ["a", "b"]
+
+    def test_total_confidence_sums(self):
+        report = integrate_profiles([
+            _local("a", [1, 0], confidence=2.0),
+            _local("b", [1, 0], confidence=3.0),
+        ])
+        assert report.total_confidence == 5.0
+
+
+class TestIntegratedProfile:
+    def test_base_fields_preserved(self):
+        base = UserProfile(
+            user_id="iris", interests=np.array([0.5, 0.5]),
+            negotiation_style="boulware",
+        )
+        merged = integrated_profile(base, [_local("a", [1.0, 0.0], confidence=4.0)])
+        assert merged.negotiation_style == "boulware"
+        assert merged.confidence == 4.0
+        assert np.argmax(merged.interests) == 0

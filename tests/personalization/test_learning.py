@@ -1,0 +1,129 @@
+"""Tests for profile learning."""
+
+import numpy as np
+import pytest
+
+from repro.data import InformationItem
+from repro.personalization import InteractionEvent, ProfileLearner
+
+
+def _item(latent, item_id="i"):
+    return InformationItem(item_id=item_id, domain="d", latent=np.asarray(latent, float))
+
+
+def _learner(n_topics=4):
+    # Tests use the true latent as the concept estimate.
+    return ProfileLearner(n_topics, concept_fn=lambda item: item.latent)
+
+
+def _event(latent, action="click", user="iris", mode="query"):
+    return InteractionEvent(user_id=user, item=_item(latent), action=action, mode=mode)
+
+
+class TestEvents:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            _event([1, 0, 0, 0], action="teleport")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionEvent("iris", _item([1, 0]), "click", mode="dream")
+
+
+class TestLearning:
+    def test_unseen_user_uniform(self):
+        learner = _learner()
+        np.testing.assert_allclose(learner.interests("nobody"), 0.25)
+
+    def test_interests_track_clicks(self):
+        learner = _learner()
+        for __ in range(30):
+            learner.observe(_event([1.0, 0.0, 0.0, 0.0]))
+        interests = learner.interests("iris")
+        assert np.argmax(interests) == 0
+        assert interests[0] > 0.7
+
+    def test_interests_normalised(self):
+        learner = _learner()
+        for __ in range(10):
+            learner.observe(_event([0.5, 0.5, 0.0, 0.0], action="save"))
+        assert learner.interests("iris").sum() == pytest.approx(1.0)
+
+    def test_strong_actions_move_faster(self):
+        clicks = _learner()
+        saves = _learner()
+        for __ in range(5):
+            clicks.observe(_event([1.0, 0.0, 0.0, 0.0], action="click"))
+            saves.observe(_event([1.0, 0.0, 0.0, 0.0], action="annotate"))
+        assert saves.interests("iris")[0] > clicks.interests("iris")[0]
+
+    def test_skip_signals_disinterest(self):
+        learner = _learner()
+        for __ in range(10):
+            learner.observe(_event([1.0, 0.0, 0.0, 0.0], action="click"))
+        peak_before = learner.interests("iris")[0]
+        for __ in range(10):
+            learner.observe(_event([1.0, 0.0, 0.0, 0.0], action="skip"))
+        assert learner.interests("iris")[0] < peak_before
+
+    def test_interest_drift(self):
+        """A user whose taste changes is eventually re-learned."""
+        learner = ProfileLearner(4, concept_fn=lambda item: item.latent,
+                                 learning_rate=0.3, decay=0.9)
+        for __ in range(30):
+            learner.observe(_event([1.0, 0.0, 0.0, 0.0]))
+        for __ in range(60):
+            learner.observe(_event([0.0, 0.0, 0.0, 1.0]))
+        assert np.argmax(learner.interests("iris")) == 3
+
+    def test_users_independent(self):
+        learner = _learner()
+        learner.observe(_event([1.0, 0.0, 0.0, 0.0], user="iris"))
+        learner.observe(_event([0.0, 0.0, 0.0, 1.0], user="jason"))
+        assert np.argmax(learner.interests("iris")) == 0
+        assert np.argmax(learner.interests("jason")) == 3
+
+    def test_concept_dimension_checked(self):
+        learner = ProfileLearner(4, concept_fn=lambda item: np.ones(7))
+        with pytest.raises(ValueError):
+            learner.observe(_event([1.0, 0.0, 0.0, 0.0]))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ProfileLearner(0, concept_fn=lambda i: i.latent)
+        with pytest.raises(ValueError):
+            ProfileLearner(4, concept_fn=lambda i: i.latent, learning_rate=0.0)
+        with pytest.raises(ValueError):
+            ProfileLearner(4, concept_fn=lambda i: i.latent, decay=1.5)
+
+
+class TestProfileMaterialisation:
+    def test_profile_carries_confidence(self):
+        learner = _learner()
+        for __ in range(7):
+            learner.observe(_event([1.0, 0.0, 0.0, 0.0]))
+        profile = learner.profile("iris")
+        assert profile.confidence == 7.0
+
+    def test_mode_preference_learned(self):
+        learner = _learner()
+        for __ in range(20):
+            learner.observe(_event([1.0, 0.0, 0.0, 0.0], mode="browse"))
+        profile = learner.profile("iris")
+        assert max(profile.mode_preference, key=profile.mode_preference.get) == "browse"
+
+    def test_base_profile_preserved(self):
+        from repro.uncertainty import risk_averse
+        from repro.personalization import UserProfile
+
+        base = UserProfile(
+            user_id="template", interests=np.ones(4),
+            risk=risk_averse(), negotiation_style="boulware",
+        )
+        learner = _learner()
+        learner.observe(_event([1.0, 0.0, 0.0, 0.0]))
+        profile = learner.profile("iris", base=base)
+        assert profile.user_id == "iris"
+        assert profile.risk.name == "averse"
+        assert profile.negotiation_style == "boulware"
+        assert np.argmax(profile.interests) == 0

@@ -1,0 +1,64 @@
+"""Tests for breach-probability estimation."""
+
+import pytest
+
+from repro.qos import (
+    QoSRequirement,
+    QoSVector,
+    breach_probability,
+    dimension_breach_probability,
+)
+
+
+class TestDimension:
+    def test_zero_margin_is_coin_flip(self):
+        assert dimension_breach_probability(0.0) == pytest.approx(0.5)
+
+    def test_large_positive_margin_safe(self):
+        assert dimension_breach_probability(2.0) < 0.01
+
+    def test_large_negative_margin_doomed(self):
+        assert dimension_breach_probability(-2.0) > 0.99
+
+    def test_monotone_in_margin(self):
+        probs = [dimension_breach_probability(m) for m in (-1.0, 0.0, 1.0)]
+        assert probs[0] > probs[1] > probs[2]
+
+    def test_invalid_sharpness(self):
+        with pytest.raises(ValueError):
+            dimension_breach_probability(0.0, sharpness=0.0)
+
+
+class TestVector:
+    def test_trivial_requirement_never_breaches(self):
+        assert breach_probability(QoSVector(), QoSRequirement()) == 0.0
+
+    def test_comfortable_margins_low_risk(self):
+        expected = QoSVector(response_time=1.0, completeness=0.95)
+        requirement = QoSRequirement(max_response_time=20.0, min_completeness=0.5)
+        assert breach_probability(expected, requirement) < 0.1
+
+    def test_impossible_promise_high_risk(self):
+        expected = QoSVector(response_time=50.0, completeness=0.3)
+        requirement = QoSRequirement(max_response_time=1.0, min_completeness=0.9)
+        assert breach_probability(expected, requirement) > 0.9
+
+    def test_more_constraints_more_risk(self):
+        expected = QoSVector(response_time=5.0, completeness=0.7, freshness=0.7)
+        loose = QoSRequirement(min_completeness=0.65)
+        tight = QoSRequirement(
+            min_completeness=0.65, min_freshness=0.65, max_response_time=6.0
+        )
+        assert breach_probability(expected, tight) > breach_probability(expected, loose)
+
+    def test_probability_bounded(self):
+        expected = QoSVector(response_time=5.0, completeness=0.5)
+        requirement = QoSRequirement(
+            max_response_time=5.0, min_completeness=0.5, min_freshness=0.5,
+            min_correctness=0.5, min_trust=0.5,
+        )
+        assert 0.0 <= breach_probability(expected, requirement) <= 1.0
+
+    def test_invalid_time_scale(self):
+        with pytest.raises(ValueError):
+            breach_probability(QoSVector(), QoSRequirement(), time_scale=0.0)

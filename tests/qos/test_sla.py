@@ -1,0 +1,95 @@
+"""Tests for SLA contracts and settlement."""
+
+import pytest
+
+from repro.qos import (
+    ContractError,
+    ContractState,
+    QoSRequirement,
+    QoSVector,
+    SLAContract,
+)
+
+
+def _contract(**kwargs):
+    defaults = dict(
+        provider_id="source-1",
+        consumer_id="iris",
+        requirement=QoSRequirement(max_response_time=5.0, min_completeness=0.8),
+        base_price=10.0,
+        premium=2.0,
+        compensation=15.0,
+        cancellation_fee=3.0,
+    )
+    defaults.update(kwargs)
+    return SLAContract(**defaults)
+
+
+class TestContract:
+    def test_total_price(self):
+        assert _contract().total_price == 12.0
+
+    def test_negative_price_rejected(self):
+        with pytest.raises(ValueError):
+            _contract(base_price=-1.0)
+
+    def test_fulfilled_settlement(self):
+        contract = _contract()
+        outcome = contract.settle(QoSVector(response_time=3.0, completeness=0.9))
+        assert not outcome.breached
+        assert outcome.compensation_paid == 0.0
+        assert contract.state is ContractState.FULFILLED
+        assert outcome.consumer_net_cost == 12.0
+
+    def test_breached_settlement(self):
+        contract = _contract()
+        outcome = contract.settle(QoSVector(response_time=9.0, completeness=0.9))
+        assert outcome.breached
+        assert outcome.violated_dimensions == ["response_time"]
+        assert outcome.compensation_paid == 15.0
+        assert contract.state is ContractState.BREACHED
+        assert outcome.consumer_net_cost == pytest.approx(-3.0)
+
+    def test_double_settlement_rejected(self):
+        contract = _contract()
+        contract.settle(QoSVector())
+        with pytest.raises(ContractError):
+            contract.settle(QoSVector())
+
+    def test_compliance_partial_credit(self):
+        contract = _contract(
+            requirement=QoSRequirement(
+                max_response_time=5.0, min_completeness=0.8, min_trust=0.9
+            )
+        )
+        outcome = contract.settle(
+            QoSVector(response_time=9.0, completeness=0.5, trust=0.95)
+        )
+        assert outcome.compliance == pytest.approx(3 / 5)
+
+    def test_clean_delivery_full_compliance(self):
+        outcome = _contract().settle(QoSVector(response_time=1.0))
+        assert outcome.compliance == 1.0
+
+
+class TestCancellation:
+    def test_provider_cancellation_pays_consumer(self):
+        contract = _contract()
+        outcome = contract.cancel(by_provider=True)
+        assert outcome.compensation_paid == 3.0
+        assert contract.state is ContractState.CANCELLED
+        assert outcome.consumer_paid == 0.0
+
+    def test_consumer_cancellation_pays_provider(self):
+        outcome = _contract().cancel(by_provider=False)
+        assert outcome.compensation_paid == -3.0
+
+    def test_cancel_settled_contract_rejected(self):
+        contract = _contract()
+        contract.settle(QoSVector())
+        with pytest.raises(ContractError):
+            contract.cancel(by_provider=True)
+
+    def test_cancellation_compliance_zero(self):
+        outcome = _contract().cancel(by_provider=True)
+        assert outcome.compliance == 0.0

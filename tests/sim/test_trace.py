@@ -1,0 +1,67 @@
+"""Tests for the trace recorder."""
+
+from repro.sim import TraceRecorder
+
+
+class TestCounters:
+    def test_count_and_read(self):
+        trace = TraceRecorder()
+        trace.count("messages")
+        trace.count("messages", 2.0)
+        assert trace.counter("messages") == 3.0
+
+    def test_unknown_counter_is_zero(self):
+        assert TraceRecorder().counter("nothing") == 0.0
+
+    def test_counters_snapshot_is_copy(self):
+        trace = TraceRecorder()
+        trace.count("x")
+        snapshot = trace.counters()
+        snapshot["x"] = 99
+        assert trace.counter("x") == 1.0
+
+
+class TestTimers:
+    def test_observe_aggregates(self):
+        trace = TraceRecorder()
+        for value in (1.0, 3.0, 2.0):
+            trace.observe("latency", value)
+        stats = trace.timer("latency")
+        assert stats.count == 3
+        assert stats.mean == 2.0
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+
+    def test_empty_timer_mean_is_zero(self):
+        assert TraceRecorder().timer("empty").mean == 0.0
+
+
+class TestRecords:
+    def test_record_and_filter(self):
+        trace = TraceRecorder()
+        trace.record(1.0, "net", "send")
+        trace.record(2.0, "qos", "breach")
+        assert len(trace.records()) == 2
+        assert [r.label for r in trace.records("net")] == ["send"]
+
+    def test_record_cap(self):
+        trace = TraceRecorder(max_records=2)
+        for i in range(5):
+            trace.record(float(i), "c", "l")
+        assert len(trace.records()) == 2
+        assert trace.dropped_records == 3
+
+    def test_keep_records_false(self):
+        trace = TraceRecorder(keep_records=False)
+        trace.record(1.0, "c", "l")
+        assert trace.records() == []
+
+    def test_summary_shape(self):
+        trace = TraceRecorder()
+        trace.count("x")
+        trace.observe("t", 1.0)
+        trace.record(0.0, "c", "l")
+        summary = trace.summary()
+        assert summary["counters"] == {"x": 1.0}
+        assert summary["timers"]["t"]["count"] == 1
+        assert summary["records"] == 1

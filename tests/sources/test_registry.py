@@ -1,0 +1,88 @@
+"""Tests for the source registry."""
+
+import pytest
+
+from repro.data import DomainSpec
+from repro.sources import SourceRegistry
+
+from tests.conftest import make_source
+
+
+@pytest.fixture
+def registry(corpus_generator, matching_engine, streams):
+    registry = SourceRegistry()
+    museum = DomainSpec(name="museum", topic_prior={"folk-jewelry": 1.0})
+    auction = DomainSpec(name="auction", topic_prior={"auction-market": 1.0})
+    registry.register(
+        make_source("m1", corpus_generator, matching_engine, streams, domain_spec=museum)
+    )
+    registry.register(
+        make_source("m2", corpus_generator, matching_engine, streams, domain_spec=museum)
+    )
+    registry.register(
+        make_source("a1", corpus_generator, matching_engine, streams, domain_spec=auction)
+    )
+    return registry
+
+
+class TestRegistry:
+    def test_len_and_contains(self, registry):
+        assert len(registry) == 3
+        assert "m1" in registry
+        assert "zzz" not in registry
+
+    def test_candidates_for_domain(self, registry):
+        museum_sources = registry.candidates_for("museum")
+        assert [d.source_id for d in museum_sources] == ["m1", "m2"]
+
+    def test_candidates_empty_domain(self, registry):
+        assert registry.candidates_for("no-such-domain") == []
+
+    def test_domains(self, registry):
+        assert registry.domains() == ["auction", "museum"]
+
+    def test_descriptor_lookup(self, registry):
+        descriptor = registry.descriptor("a1")
+        assert descriptor.covers("auction")
+        assert not descriptor.covers("museum")
+
+    def test_unknown_descriptor(self, registry):
+        with pytest.raises(KeyError):
+            registry.descriptor("nope")
+
+    def test_source_lookup(self, registry):
+        assert registry.source("m1").source_id == "m1"
+
+    def test_unknown_source(self, registry):
+        with pytest.raises(KeyError):
+            registry.source("nope")
+
+    def test_deregister(self, registry):
+        registry.deregister("m1")
+        assert "m1" not in registry
+        assert len(registry.candidates_for("museum")) == 1
+
+    def test_descriptor_snapshot_is_stale(
+        self, registry, corpus_generator, matching_engine, streams
+    ):
+        """Ingesting more items does not change the stored advertisement."""
+        before = registry.descriptor("m1").advertised["museum"].response_time
+        source = registry.source("m1")
+        spec = DomainSpec(name="museum", topic_prior={"folk-jewelry": 1.0})
+        source.ingest(corpus_generator.generate(spec, 100), now=0.0)
+        after = registry.descriptor("m1").advertised["museum"].response_time
+        assert before == after
+
+    def test_refresh_updates_snapshot(
+        self, registry, corpus_generator, matching_engine, streams
+    ):
+        source = registry.source("m1")
+        spec = DomainSpec(name="museum", topic_prior={"folk-jewelry": 1.0})
+        source.ingest(corpus_generator.generate(spec, 200), now=0.0)
+        refreshed = registry.refresh("m1", now=1.0)
+        assert refreshed.advertised["museum"].response_time > 0
+        assert refreshed.advertised_at == 1.0
+
+    def test_all_descriptors_sorted(self, registry):
+        ids = [d.source_id for d in registry.all_descriptors()]
+        assert ids == sorted(ids)

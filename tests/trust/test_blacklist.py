@@ -1,0 +1,43 @@
+"""Tests for blacklists."""
+
+from repro.trust import Blacklist, BlacklistRegistry
+
+
+class TestBlacklist:
+    def test_permanent_ban(self):
+        blacklist = Blacklist("source-1")
+        blacklist.ban("iris")
+        assert blacklist.is_banned("iris", now=1e9)
+
+    def test_temporary_ban_expires(self):
+        blacklist = Blacklist("source-1")
+        blacklist.ban("iris", until=10.0)
+        assert blacklist.is_banned("iris", now=5.0)
+        assert not blacklist.is_banned("iris", now=10.0)
+
+    def test_lift(self):
+        blacklist = Blacklist("s")
+        blacklist.ban("iris")
+        blacklist.lift("iris")
+        assert not blacklist.is_banned("iris")
+
+    def test_unbanned_subject(self):
+        assert not Blacklist("s").is_banned("anyone")
+
+    def test_banned_listing(self):
+        blacklist = Blacklist("s")
+        blacklist.ban("b")
+        blacklist.ban("a")
+        blacklist.ban("expired", until=1.0)
+        assert blacklist.banned(now=5.0) == ["a", "b"]
+
+
+class TestRegistry:
+    def test_blocks(self):
+        registry = BlacklistRegistry()
+        registry.for_owner("source-1").ban("iris")
+        assert registry.blocks("source-1", "iris")
+        assert not registry.blocks("source-2", "iris")
+
+    def test_unknown_owner_blocks_nothing(self):
+        assert not BlacklistRegistry().blocks("anyone", "x")

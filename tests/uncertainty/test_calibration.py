@@ -1,0 +1,133 @@
+"""Tests for score calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.uncertainty import (
+    BinnedCalibrator,
+    expected_calibration_error,
+    pool_adjacent_violators,
+    ranking_auc,
+)
+
+
+class TestPAV:
+    def test_already_monotone_unchanged(self):
+        values = [0.1, 0.2, 0.5, 0.9]
+        result = pool_adjacent_violators(values, [1, 1, 1, 1])
+        np.testing.assert_allclose(result, values)
+
+    def test_violation_pooled(self):
+        result = pool_adjacent_violators([0.5, 0.1], [1, 1])
+        np.testing.assert_allclose(result, [0.3, 0.3])
+
+    def test_weighted_pooling(self):
+        result = pool_adjacent_violators([0.6, 0.0], [3, 1])
+        np.testing.assert_allclose(result, [0.45, 0.45])
+
+    def test_output_is_monotone(self):
+        rng = np.random.default_rng(0)
+        values = rng.random(30)
+        result = pool_adjacent_violators(values, np.ones(30))
+        assert np.all(np.diff(result) >= -1e-12)
+
+    @given(st.lists(st.floats(min_value=0, max_value=1, allow_nan=False),
+                    min_size=1, max_size=30))
+    def test_monotone_property(self, values):
+        result = pool_adjacent_violators(values, np.ones(len(values)))
+        assert np.all(np.diff(result) >= -1e-9)
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            pool_adjacent_violators([0.5], [-1.0])
+
+
+class TestBinnedCalibrator:
+    def _synthetic(self, n=2000, seed=0):
+        """Scores whose true match probability is score**2."""
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n)
+        labels = (rng.random(n) < scores**2).astype(int)
+        return scores, labels
+
+    def test_fit_predict_bounds(self):
+        scores, labels = self._synthetic()
+        calibrator = BinnedCalibrator().fit(scores, labels)
+        for s in (0.0, 0.3, 0.7, 1.0):
+            assert 0.0 <= calibrator.predict(s) <= 1.0
+
+    def test_calibration_reduces_ece(self):
+        scores, labels = self._synthetic()
+        calibrator = BinnedCalibrator(n_bins=10).fit(scores, labels)
+        raw_ece = expected_calibration_error(scores, labels)
+        calibrated = calibrator.predict_many(scores)
+        calibrated_ece = expected_calibration_error(calibrated, labels)
+        assert calibrated_ece < raw_ece
+
+    def test_prediction_monotone(self):
+        scores, labels = self._synthetic()
+        calibrator = BinnedCalibrator().fit(scores, labels)
+        predictions = calibrator.predict_many(np.linspace(0, 1, 50))
+        assert np.all(np.diff(predictions) >= -1e-9)
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            BinnedCalibrator().predict(0.5)
+
+    def test_empty_fit_rejected(self):
+        with pytest.raises(ValueError):
+            BinnedCalibrator().fit([], [])
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ValueError):
+            BinnedCalibrator().fit([0.5], [0.5])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BinnedCalibrator().fit([0.5, 0.6], [1])
+
+    def test_too_few_bins_rejected(self):
+        with pytest.raises(ValueError):
+            BinnedCalibrator(n_bins=1)
+
+
+class TestECE:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(1)
+        probs = rng.random(5000)
+        labels = (rng.random(5000) < probs).astype(int)
+        assert expected_calibration_error(probs, labels) < 0.05
+
+    def test_maximally_miscalibrated(self):
+        probs = np.full(100, 0.9)
+        labels = np.zeros(100)
+        assert expected_calibration_error(probs, labels) == pytest.approx(0.9)
+
+    def test_empty(self):
+        assert expected_calibration_error([], []) == 0.0
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        scores = [0.1, 0.2, 0.8, 0.9]
+        labels = [0, 0, 1, 1]
+        assert ranking_auc(scores, labels) == 1.0
+
+    def test_inverted(self):
+        scores = [0.9, 0.8, 0.2, 0.1]
+        labels = [0, 0, 1, 1]
+        assert ranking_auc(scores, labels) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(2)
+        scores = rng.random(2000)
+        labels = rng.integers(0, 2, 2000)
+        assert ranking_auc(scores, labels) == pytest.approx(0.5, abs=0.05)
+
+    def test_degenerate_single_class(self):
+        assert ranking_auc([0.5, 0.6], [1, 1]) == 0.5
+
+    def test_ties_handled(self):
+        assert ranking_auc([0.5, 0.5], [0, 1]) == pytest.approx(0.5)

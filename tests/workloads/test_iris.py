@@ -1,0 +1,55 @@
+"""Tests for the Iris scenario assembly."""
+
+import pytest
+
+from repro import build_agora
+from repro.workloads import build_iris_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    agora = build_agora(seed=31, n_sources=5, items_per_source=20,
+                        calibration_pairs=200)
+    return build_iris_scenario(agora)
+
+
+class TestScenario:
+    def test_profiles_match_paper(self, scenario):
+        iris = scenario.iris.active_profile()
+        jason = scenario.jason.active_profile()
+        space = scenario.agora.topic_space
+        assert space.peak_topic(iris.interests) == "folk-jewelry"
+        assert space.peak_topic(jason.interests) == "dance-forms"
+        assert iris.risk.name == "averse"
+        assert jason.negotiation_style == "conceder"
+
+    def test_friendship_wired(self, scenario):
+        assert scenario.social_graph.are_friends("iris", "jason")
+
+    def test_profiles_stored(self, scenario):
+        assert "iris" in scenario.profile_store
+        assert "jason" in scenario.profile_store
+
+    def test_privacy_defaults(self, scenario):
+        assert scenario.privacy.can_see("jason", "iris", "interests")
+        assert not scenario.privacy.can_see("jason", "iris", "history")
+
+    def test_personal_base(self, scenario):
+        items = scenario.agora.sources[
+            sorted(scenario.agora.sources)[0]
+        ].visible_items(now=0.0)
+        scenario.save_to_base("iris", items[0])
+        assert scenario.base_of("iris") == [items[0]]
+        assert scenario.base_of("jason") == []
+
+    def test_iris_can_shop(self, scenario):
+        query = scenario.workload.topic_query("folk-jewelry", k=5, issuer_id="iris")
+        result = scenario.iris.ask(query)
+        assert len(result.ranked_items) > 0
+
+    def test_annotation_triggers_comparison(self, scenario):
+        items = scenario.base_of("iris") or scenario.agora.sources[
+            sorted(scenario.agora.sources)[0]
+        ].visible_items(now=0.0)
+        record = scenario.annotations.annotate("iris", items[0], text="note")
+        assert record.standing_id is not None

@@ -1,0 +1,82 @@
+"""Tests for query workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.personalization import UserProfile
+from repro.query import QueryKind
+from repro.workloads import QueryWorkloadGenerator, UserPopulationGenerator
+
+
+@pytest.fixture
+def generator(topic_space, vocabulary, corpus_generator, streams):
+    return QueryWorkloadGenerator(
+        topic_space, vocabulary, streams.spawn("qwl"), corpus=corpus_generator,
+    )
+
+
+class TestTopicQueries:
+    def test_topic_query_intent(self, generator, topic_space):
+        query = generator.topic_query("dance-forms", k=7)
+        assert query.kind is QueryKind.TOPIC
+        assert query.k == 7
+        assert topic_space.peak_topic(query.intent_latent) == "dance-forms"
+        assert sum(query.terms.values()) == 60
+
+    def test_issuer_propagates(self, generator):
+        query = generator.topic_query("tourism", issuer_id="iris")
+        assert query.issuer_id == "iris"
+
+
+class TestInterestQueries:
+    def test_intent_near_interests(self, generator, topic_space):
+        profile = UserProfile(
+            user_id="u", interests=topic_space.basis("folk-jewelry", 0.95),
+        )
+        peaks = [
+            topic_space.peak_topic(
+                generator.interest_query(profile).intent_latent
+            )
+            for __ in range(20)
+        ]
+        assert peaks.count("folk-jewelry") >= 12
+
+    def test_invalid_sharpen(self, generator, topic_space):
+        profile = UserProfile(user_id="u", interests=np.ones(topic_space.n_topics))
+        with pytest.raises(ValueError):
+            generator.interest_query(profile, sharpen=0.0)
+
+
+class TestSimilarityQueries:
+    def test_reference_item_minted(self, generator, topic_space):
+        query = generator.similarity_query("folk-jewelry")
+        assert query.kind is QueryKind.SIMILARITY
+        assert query.reference_item is not None
+        assert topic_space.peak_topic(query.reference_item.latent) == "folk-jewelry"
+
+    def test_without_corpus_rejected(self, topic_space, vocabulary, streams):
+        generator = QueryWorkloadGenerator(
+            topic_space, vocabulary, streams.spawn("nocorpus"),
+        )
+        with pytest.raises(RuntimeError):
+            generator.similarity_query("tourism")
+
+
+class TestMixedWorkload:
+    def test_size(self, generator, topic_space, streams):
+        population = UserPopulationGenerator(
+            topic_space, streams.spawn("pop2")
+        ).generate_population(4)
+        workload = generator.mixed_workload(population, queries_per_user=3)
+        assert len(workload) == 12
+
+    def test_issuers_cycle(self, generator, topic_space, streams):
+        population = UserPopulationGenerator(
+            topic_space, streams.spawn("pop3")
+        ).generate_population(3)
+        workload = generator.mixed_workload(population, queries_per_user=1)
+        assert [q.issuer_id for q in workload] == [p.user_id for p in population]
+
+    def test_negative_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.mixed_workload([], queries_per_user=-1)

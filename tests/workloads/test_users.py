@@ -1,0 +1,116 @@
+"""Tests for user population generation and the click model."""
+
+import numpy as np
+import pytest
+
+from repro.data import InformationItem
+from repro.personalization import UserProfile
+from repro.workloads import ClickModel, UserPopulationGenerator
+from repro.workloads.users import UserPopulationGenerator as UPG
+
+
+@pytest.fixture
+def generator(topic_space, streams):
+    return UserPopulationGenerator(topic_space, streams.spawn("pop"))
+
+
+class TestPopulation:
+    def test_population_size(self, generator):
+        assert len(generator.generate_population(12)) == 12
+
+    def test_negative_count_rejected(self, generator):
+        with pytest.raises(ValueError):
+            generator.generate_population(-1)
+
+    def test_unique_user_ids(self, generator):
+        population = generator.generate_population(20)
+        assert len({p.user_id for p in population}) == 20
+
+    def test_profiles_valid(self, generator):
+        for profile in generator.generate_population(10):
+            assert profile.interests.sum() == pytest.approx(1.0)
+            assert profile.negotiation_style
+
+    def test_population_diverse(self, generator):
+        population = generator.generate_population(30)
+        peak_topics = {int(np.argmax(p.interests)) for p in population}
+        styles = {p.negotiation_style for p in population}
+        risks = {p.risk.name for p in population}
+        assert len(peak_topics) >= 4
+        assert len(styles) >= 3
+        assert len(risks) >= 2
+
+    def test_deterministic(self, topic_space, streams):
+        from repro.sim import RngStreams
+
+        a = UserPopulationGenerator(topic_space, RngStreams(4).spawn("p"))
+        b = UserPopulationGenerator(topic_space, RngStreams(4).spawn("p"))
+        pa = a.generate_population(5)
+        pb = b.generate_population(5)
+        for x, y in zip(pa, pb):
+            np.testing.assert_allclose(x.interests, y.interests)
+
+
+class TestClickModel:
+    def _items(self, topic_space, on_topic, off_topic):
+        items = []
+        for i in range(on_topic):
+            items.append(InformationItem(
+                item_id=f"on-{i}", domain="d",
+                latent=topic_space.basis(topic_space.names[0], 0.95),
+            ))
+        for i in range(off_topic):
+            items.append(InformationItem(
+                item_id=f"off-{i}", domain="d",
+                latent=topic_space.basis(topic_space.names[5], 0.95),
+            ))
+        return items
+
+    def test_clicks_follow_relevance(self, topic_space, streams):
+        profile = UserProfile(
+            user_id="u", interests=topic_space.basis(topic_space.names[0], 0.95),
+        )
+        model = ClickModel(topic_space, streams.spawn("cm"))
+        items = self._items(topic_space, 5, 5)
+        clicks_on, clicks_off = 0, 0
+        for __ in range(50):
+            events = model.simulate(profile, items)
+            for event in events:
+                if event.action in ("click", "save"):
+                    if event.item.item_id.startswith("on"):
+                        clicks_on += 1
+                    else:
+                        clicks_off += 1
+        assert clicks_on > 3 * max(clicks_off, 1)
+
+    def test_position_bias(self, topic_space, streams):
+        profile = UserProfile(
+            user_id="u", interests=topic_space.basis(topic_space.names[0], 0.95),
+        )
+        model = ClickModel(topic_space, streams.spawn("cm2"),
+                           examination_decay=0.5)
+        items = self._items(topic_space, 10, 0)
+        first_interactions, last_interactions = 0, 0
+        for __ in range(100):
+            events = model.simulate(profile, items)
+            ids = [e.item.item_id for e in events]
+            if "on-0" in ids:
+                first_interactions += 1
+            if "on-9" in ids:
+                last_interactions += 1
+        assert first_interactions > last_interactions
+
+    def test_invalid_decay(self, topic_space, streams):
+        with pytest.raises(ValueError):
+            ClickModel(topic_space, streams.spawn("cm3"), examination_decay=0.0)
+
+    def test_events_carry_mode_and_time(self, topic_space, streams):
+        profile = UserProfile(
+            user_id="u", interests=topic_space.basis(topic_space.names[0], 0.95),
+        )
+        model = ClickModel(topic_space, streams.spawn("cm4"))
+        items = self._items(topic_space, 3, 0)
+        events = model.simulate(profile, items, mode="browse", time=12.0)
+        for event in events:
+            assert event.mode == "browse"
+            assert event.time == 12.0
