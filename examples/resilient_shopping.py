@@ -10,10 +10,15 @@ when things actually go wrong:
 3. requirement relaxation — the market refuses Iris's strict terms until
    she trades quality for service;
 4. socialized trust — Jason's bad experience with a source warns Iris off
-   before she gets burned herself.
+   before she gets burned herself;
+5. resilience policies — a scripted outage window takes a source down and
+   the executor's retries, circuit breakers, and failover reroute the
+   lost jobs to a live mirror.
 
 Run with:  python examples/resilient_shopping.py
 """
+
+from collections import defaultdict
 
 from repro import Consumer, QoSRequirement, QoSWeights, UserProfile, build_agora
 from repro.core import AsyncMarketplace
@@ -22,6 +27,7 @@ from repro.query import (
     ExecutionContext,
     fallbacks_from_registry,
 )
+from repro.resilience import FaultScript, ResilienceConfig
 from repro.social import AffineNeighbour, SocialTrustView
 from repro.trust import ReputationSystem
 from repro.workloads import QueryWorkloadGenerator
@@ -114,6 +120,43 @@ def main() -> None:
     social = social_view.score(burned_source)
     print(f"  Iris's own view of {burned_source}: {own:.2f} (little experience)")
     print(f"  with Jason's shared experience:     {social:.2f} — avoided")
+
+    # ------------------------------------------------------------------
+    print("\n=== 5. Scripted outage, survived by resilience policies ===")
+    # Pick a source whose domain has a live mirror to fail over to.
+    by_domain = defaultdict(list)
+    for source_id, source in sorted(agora.sources.items()):
+        for domain in source.domains:
+            by_domain[domain].append(source_id)
+    mirrored = next(ids for ids in by_domain.values() if len(ids) > 1)
+    victim = mirrored[0]
+    script = FaultScript().outage(
+        agora.sources[victim].node_id, start=agora.now + 1.0, duration=500.0,
+    )
+    agora.inject_faults(script)
+    agora.run(until=agora.now + 2.0)  # into the outage window
+    print(f"  outage window opened: {victim} is down")
+
+    hardened = Consumer(
+        agora, profile, planner="greedy",
+        resilience=ResilienceConfig.default_enabled(),
+    )
+    domain = next(d for d, ids in by_domain.items() if ids is mirrored)
+    topic = max(
+        agora.topic_space.names,
+        key=lambda name: sum(
+            agora.oracle.is_relevant(
+                workload.topic_query(name, k=1), item
+            )
+            for item in agora.sources[victim].visible_items(agora.now)
+        ),
+    )
+    outcome = hardened.ask(workload.topic_query(topic, k=8, issuer_id="iris"))
+    events = dict(outcome.resilience_events)
+    print(f"  asked for '{topic}' (served by {domain} sources)")
+    print(f"  resilience events: {events or 'none needed'}")
+    print(f"  {len(outcome.ranked_items)} results delivered, "
+          f"utility {outcome.utility:.3f}")
 
 
 if __name__ == "__main__":

@@ -9,7 +9,7 @@ Consumers are created against it and interact through
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -32,6 +32,10 @@ from repro.net.topology import (
 )
 from repro.qos.monitor import ContractMonitor
 from repro.query.oracle import RelevanceOracle
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.faults import FaultInjector, FaultScript
+from repro.resilience.policy import ResilienceConfig
+from repro.resilience.runtime import ResilienceRuntime
 from repro.sim.kernel import Simulator
 from repro.sources.registry import SourceRegistry
 from repro.sources.source import InformationSource, SourceQuality
@@ -93,6 +97,19 @@ class Agora:
         self.monitor = ContractMonitor()
         self.reputation = ReputationSystem()
         self.monitor.on_compliance(self.reputation.observe)
+
+        # --- resilience infrastructure --------------------------------
+        # One breaker board for the whole agora: breakers guard *sources*,
+        # and every consumer benefits from failures any of them observed.
+        # Contract settlements feed the breakers alongside execution-time
+        # declines.
+        self.breakers = BreakerBoard(
+            config.resilience.breaker,
+            now_fn=lambda: self.sim.now,
+            trace=self.sim.trace,
+        )
+        self.monitor.on_compliance(self.breakers.observe_compliance)
+        self.faults = FaultInjector(self.sim, self.health, load=self.load)
 
         # --- content: sources + calibration ----------------------------
         self.sources: Dict[str, InformationSource] = {}
@@ -228,6 +245,29 @@ class Agora:
     def run(self, until: float) -> None:
         """Advance virtual time (churn, update streams, gossip all move)."""
         self.sim.run(until=until)
+
+    def resilience_runtime(
+        self, config: Optional[ResilienceConfig] = None
+    ) -> ResilienceRuntime:
+        """A runtime view over this agora's shared resilience state.
+
+        Policies come from ``config`` (default: the agora config's);
+        breakers, jitter stream and trace are shared agora-wide so every
+        consumer sees the same source health picture and every run with
+        the same seed replays identically.
+        """
+        return ResilienceRuntime(
+            config if config is not None else self.config.resilience,
+            registry=self.registry,
+            breakers=self.breakers,
+            rng=self._streams.stream("resilience.jitter"),
+            trace=self.sim.trace,
+            now_fn=lambda: self.sim.now,
+        )
+
+    def inject_faults(self, script: FaultScript) -> int:
+        """Install a fault script on the simulator (returns #windows)."""
+        return self.faults.install(script)
 
     def consumer_node(self) -> str:
         """The overlay node consumers attach to (last node by convention)."""

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Tuple
+
+from repro.resilience.policy import ResilienceConfig
 
 TOPOLOGY_KINDS = ("random", "small-world", "scale-free", "star")
 PLANNER_KINDS = ("trading", "exhaustive", "greedy", "local")
@@ -35,6 +37,9 @@ class AgoraConfig:
     planner: str = "trading"
     relevance_threshold: float = 0.75
     start_update_streams: bool = False
+    #: default consumer-side resilience policies (off unless enabled);
+    #: individual consumers may override with their own config
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     overpromise_range: Tuple[float, float] = (0.0, 0.3)
     coverage_range: Tuple[float, float] = (0.6, 1.0)
     error_rate_range: Tuple[float, float] = (0.0, 0.15)

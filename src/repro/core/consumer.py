@@ -17,7 +17,7 @@ resources they deal with" (§3) — the :class:`Consumer` is that agent.  One
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -38,6 +38,7 @@ from repro.qos.sla import SLAContract, SLAOutcome
 from repro.qos.vector import QoSVector, scalarize
 from repro.query.execution import ExecutionContext, ExecutionResult, QueryExecutor
 from repro.query.model import Query
+from repro.resilience.policy import ResilienceConfig
 from repro.social.fusion import SocialRanker
 from repro.trust.reputation import ReputationSystem
 from repro.uncertainty.results import UncertainResultSet
@@ -58,6 +59,7 @@ class ConsumerResult:
     total_price: float = 0.0
     utility: float = 0.0
     declined_sources: List[str] = field(default_factory=list)
+    resilience_events: Dict[str, float] = field(default_factory=dict)
 
     @property
     def breached_contracts(self) -> int:
@@ -86,6 +88,10 @@ class Consumer:
         Overrides the agora config's planner kind.
     personalization_weight:
         α of the personalized re-ranking blend (0 disables).
+    resilience:
+        Per-consumer resilience policies (retry/hedge/breaker); defaults
+        to the agora config's.  Pass
+        :meth:`ResilienceConfig.default_enabled` to turn the defences on.
     """
 
     def __init__(
@@ -96,6 +102,7 @@ class Consumer:
         planner: Optional[str] = None,
         personalization_weight: float = 0.4,
         trust_view=None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.agora = agora
         self._profile = profile
@@ -108,6 +115,15 @@ class Consumer:
         #: e.g. :class:`repro.social.SocialTrustView`); used for candidate
         #: discounting and QoS trust annotation in place of bare reputation
         self.trust_view = trust_view
+        self.resilience_config = (
+            resilience if resilience is not None else agora.config.resilience
+        )
+        #: shared-breaker resilience runtime; ``None`` when policies are off
+        self.resilience = (
+            agora.resilience_runtime(self.resilience_config)
+            if self.resilience_config.enabled
+            else None
+        )
         self.history: List[ConsumerResult] = []
 
     def trust_in(self, source_id: str) -> float:
@@ -175,6 +191,7 @@ class Consumer:
             total_price=total_price,
             utility=utility,
             declined_sources=execution.declined_sources,
+            resilience_events=execution.resilience_events,
         )
         self.history.append(result)
         return result
@@ -273,6 +290,7 @@ class Consumer:
             consumer_id=self.user_id,
             latency=lambda source_id: agora.latency_to_source(self.node_id, source_id),
             trust=self.trust_in,
+            resilience=self.resilience,
         )
         return QueryExecutor(context).execute(plan, query)
 

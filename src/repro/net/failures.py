@@ -66,6 +66,10 @@ class NodeHealth:
         """Sorted ids of nodes currently up."""
         return sorted(node for node, up in self._up.items() if up)
 
+    def nodes(self) -> List[str]:
+        """Sorted ids of all tracked nodes."""
+        return sorted(self._up)
+
     def set_state(self, node: str, up: bool) -> None:
         """Force a node's state (used by tests and failure injection)."""
         if node not in self._up:
@@ -134,6 +138,10 @@ class LoadModel:
     def load(self, node: str) -> float:
         """Current concurrent load at ``node``."""
         return self._load.get(node, 0.0)
+
+    def nodes(self) -> List[str]:
+        """Sorted ids of all tracked nodes."""
+        return sorted(self._load)
 
     def utilisation(self, node: str) -> float:
         """Load relative to capacity at ``node``."""

@@ -1,0 +1,40 @@
+"""Resilient query execution (§2 pathologies, consumer-side defences).
+
+Public API:
+
+- Policies: :class:`RetryPolicy`, :class:`HedgePolicy`,
+  :class:`BreakerPolicy`, :class:`ResilienceConfig`.
+- Breakers: :class:`CircuitBreaker`, :class:`BreakerBoard`,
+  :class:`BreakerState`.
+- Hedging: :class:`HedgeSelector`, :class:`HedgeOutcome`.
+- Fault injection: :class:`FaultEvent`, :class:`FaultScript`,
+  :class:`FaultInjector`.
+- :class:`ResilienceRuntime` — what the executor actually consults.
+"""
+
+from repro.resilience.breaker import BreakerBoard, BreakerState, CircuitBreaker
+from repro.resilience.faults import FaultEvent, FaultInjector, FaultScript
+from repro.resilience.hedging import HedgeOutcome, HedgeSelector
+from repro.resilience.policy import (
+    BreakerPolicy,
+    HedgePolicy,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.resilience.runtime import ResilienceRuntime
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultScript",
+    "HedgeOutcome",
+    "HedgePolicy",
+    "HedgeSelector",
+    "ResilienceConfig",
+    "ResilienceRuntime",
+    "RetryPolicy",
+]

@@ -1,0 +1,126 @@
+"""Resilience policies: retry, hedging and breaker knobs.
+
+Section 2 of the paper names the three ways a source silently drops out of
+a request — overloading, unavailability, black-listing.  The policies here
+decide how the *consumer side* reacts: how often to retry a declined leaf,
+when to duplicate a slow one to an alternate source, and when to stop
+sending work to a source at all.  All randomness (backoff jitter) is drawn
+from the simulation's seeded RNG streams so recovery traces replay
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deadline-aware retry with exponential backoff and jitter.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries against the originally assigned source (1 = no retry).
+    base_delay:
+        Backoff before the first retry, in virtual time units.
+    multiplier:
+        Exponential growth factor of the backoff between attempts.
+    jitter:
+        Fraction of the backoff added as uniform noise: a retry waits
+        ``delay * (1 + jitter * u)`` with ``u ~ U[0, 1)`` from the seeded
+        stream.  0 disables jitter.
+    deadline:
+        Total elapsed-time budget for one leaf, retries included.  ``None``
+        falls back to the query requirement's ``max_response_time`` (and to
+        unlimited when that is unset too).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0:
+            raise ValueError("base_delay must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive when set")
+
+    def backoff_delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt`` (0-indexed), jittered."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        delay = self.base_delay * (self.multiplier ** attempt)
+        if self.jitter > 0:
+            delay *= 1.0 + self.jitter * float(rng.random())
+        return delay
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Hedged requests against alternate sources covering the same domain.
+
+    A leaf whose primary answer takes longer than ``threshold`` is
+    duplicated to the best alternate source; the first non-declined answer
+    wins and any late-but-successful duplicate is folded into the result
+    (the merge dedups by item id, so hedging never double-counts).
+    """
+
+    threshold: float = 1.0
+    max_hedges: int = 1
+
+    def __post_init__(self) -> None:
+        if self.threshold < 0:
+            raise ValueError("threshold must be non-negative")
+        if self.max_hedges < 0:
+            raise ValueError("max_hedges must be non-negative")
+
+    def fires(self, primary_elapsed: float) -> bool:
+        """Whether a hedge should be issued for this primary latency."""
+        return self.max_hedges > 0 and primary_elapsed > self.threshold
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Circuit-breaker thresholds (see :mod:`repro.resilience.breaker`)."""
+
+    failure_threshold: int = 3
+    recovery_time: float = 50.0
+    half_open_trials: int = 1
+    compliance_floor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.recovery_time < 0:
+            raise ValueError("recovery_time must be non-negative")
+        if self.half_open_trials < 1:
+            raise ValueError("half_open_trials must be >= 1")
+        if not 0.0 <= self.compliance_floor <= 1.0:
+            raise ValueError("compliance_floor must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Per-consumer resilience configuration (disabled by default)."""
+
+    enabled: bool = False
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    hedge: HedgePolicy = field(default_factory=HedgePolicy)
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+
+    @classmethod
+    def default_enabled(cls) -> "ResilienceConfig":
+        """A sensible everything-on configuration."""
+        return cls(enabled=True)

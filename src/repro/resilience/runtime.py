@@ -1,0 +1,93 @@
+"""The resilience runtime handed to the executor.
+
+One :class:`ResilienceRuntime` bundles a consumer's policies with the
+agora-wide breaker board, the registry (for alternates), the seeded jitter
+stream, and the trace recorder the counters land in.  The executor calls
+it at every ``Retrieve`` leaf; everything else in the system stays unaware
+of resilience.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+
+import numpy as np
+
+from repro.resilience.breaker import BreakerBoard
+from repro.resilience.hedging import HedgeSelector
+from repro.resilience.policy import ResilienceConfig
+from repro.sim.trace import TraceRecorder
+
+if TYPE_CHECKING:  # avoid load-time cycles through repro.query / repro.sources
+    from repro.query.model import Subquery
+    from repro.sources.registry import SourceRegistry
+
+
+class ResilienceRuntime:
+    """Live resilience state shared by one consumer's executions."""
+
+    def __init__(
+        self,
+        config: ResilienceConfig,
+        registry: "SourceRegistry",
+        breakers: Optional[BreakerBoard] = None,
+        rng: Optional[np.random.Generator] = None,
+        trace: Optional[TraceRecorder] = None,
+        now_fn: Callable[[], float] = lambda: 0.0,
+    ):
+        self.config = config
+        self.breakers = (
+            breakers
+            if breakers is not None
+            else BreakerBoard(config.breaker, now_fn=now_fn, trace=trace)
+        )
+        self.selector = HedgeSelector(registry, self.breakers)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._trace = trace
+        self._now = now_fn
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Whether the executor should take the resilient path."""
+        return self.config.enabled
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        """Bump a ``resilience.*`` counter on the trace (no-op untraced)."""
+        if self._trace is not None:
+            self._trace.count(f"resilience.{name}", amount)
+
+    # -- breaker facade -------------------------------------------------
+    def allow(self, source_id: str) -> bool:
+        """Breaker gate for ``source_id``."""
+        return self.breakers.allow(source_id)
+
+    def record_outcome(self, source_id: str, ok: bool) -> None:
+        """Feed an execution-time success/decline into the breaker."""
+        if ok:
+            self.breakers.record_success(source_id)
+        else:
+            self.breakers.record_failure(source_id)
+
+    # -- retry facade ---------------------------------------------------
+    def backoff_delay(self, attempt: int) -> float:
+        """Jittered backoff before retry ``attempt`` (consumes the stream)."""
+        return self.config.retry.backoff_delay(attempt, self._rng)
+
+    def deadline_for(self, subquery: "Subquery") -> Optional[float]:
+        """Leaf time budget: policy deadline, else the query's QoS bound."""
+        if self.config.retry.deadline is not None:
+            return self.config.retry.deadline
+        return subquery.parent.requirement.max_response_time
+
+    def within_deadline(self, subquery: "Subquery", elapsed: float) -> bool:
+        """Whether ``elapsed`` still fits the leaf's time budget."""
+        deadline = self.deadline_for(subquery)
+        return deadline is None or elapsed <= deadline
+
+    # -- hedging facade -------------------------------------------------
+    def alternates(
+        self, subquery: "Subquery", exclude: Iterable[str] = ()
+    ) -> List[str]:
+        """Preference-ordered alternates for a leaf (breaker-filtered)."""
+        return self.selector.alternates(subquery, exclude)

@@ -73,8 +73,15 @@ def make_source(
     n_items=40,
     quality=None,
     node_id=None,
+    health=None,
+    load=None,
+    items=None,
 ):
-    """Helper: a populated source over one domain."""
+    """Helper: a populated source over one domain.
+
+    Pass ``items`` to ingest a pre-generated collection (e.g. to build
+    mirror sources sharing one corpus); otherwise a fresh one is drawn.
+    """
     spec = domain_spec or DomainSpec(
         name="museum",
         topic_prior={"folk-jewelry": 0.6, "museum-exhibitions": 0.4},
@@ -86,8 +93,13 @@ def make_source(
         quality=quality or SourceQuality(coverage=1.0, freshness_lag=0.0, error_rate=0.0),
         engine=matching_engine,
         streams=streams.spawn(f"src.{source_id}"),
+        health=health,
+        load=load,
     )
-    source.ingest(corpus_generator.generate(spec, n_items), now=0.0)
+    source.ingest(
+        items if items is not None else corpus_generator.generate(spec, n_items),
+        now=0.0,
+    )
     return source
 
 

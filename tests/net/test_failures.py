@@ -38,6 +38,37 @@ class TestNodeHealth:
         health.set_state("a", True)
         assert changes == [("a", False), ("a", True)]
 
+    def test_set_state_notifies_exactly_once_per_transition(self):
+        sim = Simulator()
+        health = NodeHealth(sim, ["a", "b"], sim.rng.spawn("h"), enabled=False)
+        calls = []
+        health.on_change(lambda node, up: calls.append((node, up)))
+        health.on_change(lambda node, up: calls.append((node, up)))
+        health.set_state("a", False)
+        assert calls == [("a", False), ("a", False)]
+        calls.clear()
+        # Repeating the same state is a no-op: no listener fires.
+        health.set_state("a", False)
+        assert calls == []
+        health.set_state("a", True)
+        health.set_state("b", False)
+        assert calls.count(("a", True)) == 2
+        assert calls.count(("b", False)) == 2
+        assert len(calls) == 4
+
+    def test_disabled_churn_schedules_nothing(self):
+        sim = Simulator(seed=9)
+        NodeHealth(
+            sim,
+            [f"n{i}" for i in range(8)],
+            sim.rng.spawn("h"),
+            spec=ChurnSpec(mean_uptime=1.0, mean_downtime=1.0),
+            enabled=False,
+        )
+        assert sim.pending == 0
+        sim.run(until=100.0)
+        assert sim.trace.counter("net.churn_transitions") == 0
+
     def test_churn_produces_transitions(self):
         sim = Simulator(seed=2)
         spec = ChurnSpec(mean_uptime=10.0, mean_downtime=5.0)
@@ -82,6 +113,24 @@ class TestLoadModel:
         p_loaded = model.decline_probability("a")
         assert p_loaded > p_idle
         assert p_loaded > 0.9
+
+    def test_decline_probability_strictly_monotone_in_utilisation(self):
+        model = self._model(capacity=4.0)
+        probabilities = []
+        for __ in range(12):
+            probabilities.append(model.decline_probability("a"))
+            model.begin("a")
+        assert all(
+            later > earlier
+            for earlier, later in zip(probabilities, probabilities[1:])
+        )
+        assert probabilities[0] < 0.5 < probabilities[-1]
+
+    def test_decline_probability_half_at_capacity(self):
+        model = self._model(capacity=3.0)
+        for __ in range(3):
+            model.begin("a")
+        assert model.decline_probability("a") == pytest.approx(0.5)
 
     def test_idle_node_rarely_declines(self):
         model = self._model(capacity=10.0)

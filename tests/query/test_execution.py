@@ -115,6 +115,23 @@ class TestExecution:
         result = QueryExecutor(context).execute(plan, query)
         assert all(m.probability == 0.0 for m in result.results)
 
+    def test_merge_with_no_children_returns_empty(
+        self, execution_setup, topic_space, vocabulary
+    ):
+        # Regression: executing a Merge whose children list has been emptied
+        # (e.g. by a planner pruning every branch) used to crash with
+        # ``max() arg is an empty sequence`` when folding child latencies.
+        registry, context = execution_setup
+        query = make_topic_query(topic_space, vocabulary, "folk-jewelry", k=5)
+        plan = standard_plan([Retrieve(query.restricted_to("museum"), "m1")], k=5)
+        merge = plan.child
+        merge.children = []
+        result = QueryExecutor(context).execute(plan, query)
+        assert len(result.results) == 0
+        assert result.response_time == 0.0
+        assert result.sources_used == []
+        assert result.declined_sources == []
+
     def test_cross_domain_merge(self, execution_setup, topic_space, vocabulary):
         registry, context = execution_setup
         query = make_topic_query(topic_space, vocabulary, "folk-jewelry", k=10)

@@ -1,0 +1,88 @@
+"""Tests for the resilience policy dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import (
+    BreakerPolicy,
+    HedgePolicy,
+    ResilienceConfig,
+    RetryPolicy,
+)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0.0)
+
+    def test_backoff_grows_exponentially_without_jitter(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, jitter=0.0)
+        rng = np.random.default_rng(0)
+        delays = [policy.backoff_delay(attempt, rng) for attempt in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_jitter_bounds(self):
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0, jitter=0.5)
+        rng = np.random.default_rng(3)
+        for __ in range(100):
+            delay = policy.backoff_delay(0, rng)
+            assert 1.0 <= delay < 1.5
+
+    def test_jitter_is_deterministic_given_stream(self):
+        policy = RetryPolicy(jitter=0.5)
+        a = [policy.backoff_delay(i, np.random.default_rng(9)) for i in range(3)]
+        b = [policy.backoff_delay(i, np.random.default_rng(9)) for i in range(3)]
+        assert a == b
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff_delay(-1, np.random.default_rng(0))
+
+
+class TestHedgePolicy:
+    def test_fires_only_above_threshold(self):
+        policy = HedgePolicy(threshold=1.0, max_hedges=1)
+        assert not policy.fires(0.5)
+        assert not policy.fires(1.0)
+        assert policy.fires(1.01)
+
+    def test_zero_max_hedges_never_fires(self):
+        assert not HedgePolicy(threshold=0.0, max_hedges=0).fires(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HedgePolicy(threshold=-1.0)
+        with pytest.raises(ValueError):
+            HedgePolicy(max_hedges=-1)
+
+
+class TestBreakerPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(recovery_time=-1.0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(half_open_trials=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(compliance_floor=1.5)
+
+
+class TestResilienceConfig:
+    def test_disabled_by_default(self):
+        assert not ResilienceConfig().enabled
+
+    def test_default_enabled_constructor(self):
+        config = ResilienceConfig.default_enabled()
+        assert config.enabled
+        assert config.retry.max_attempts >= 2
+        assert config.hedge.max_hedges >= 1
