@@ -158,7 +158,6 @@ def run_a2(encounters=60) -> ExperimentResult:
 # ----------------------------------------------------------------------
 def run_a3(trials=12) -> ExperimentResult:
     import importlib.util
-    import sys
     from pathlib import Path
 
     spec = importlib.util.spec_from_file_location(
@@ -360,7 +359,6 @@ def run_a7(interactions=15) -> ExperimentResult:
     from repro.qos import QoSVector, QoSWeights, scalarize
     from repro.trust import ReputationSystem
 
-    rng = np.random.default_rng(SEED)
     weights = QoSWeights()
     # Two sources: an honest one and a chronic overpromiser.
     honest_truth = QoSVector(response_time=1.0, completeness=0.7,

@@ -10,7 +10,6 @@ recall *falls* — the coverage gap that motivates §4's replication and
 subcontracting machinery.
 """
 
-import numpy as np
 import pytest
 
 from repro import Consumer, UserProfile, build_agora
@@ -38,9 +37,6 @@ def run_f1(seed=67, queries_per_size=5) -> ExperimentResult:
             interests=agora.topic_space.basis("folk-jewelry", 0.9),
         )
         consumer = Consumer(agora, profile, planner="trading")
-        from repro.query import (
-            ExecutionContext, QueryExecutor, Retrieve, decompose, standard_plan,
-        )
 
         response_times, contract_counts = [], []
         recalls, pool_sizes = [], []

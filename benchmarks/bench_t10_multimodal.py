@@ -17,7 +17,7 @@ import pytest
 
 from repro import Consumer, UserProfile, build_agora
 from repro.experiments import ExperimentResult, summarize
-from repro.multimodal import Browser, BrowseGraph, InteractionSession, StandingQuery
+from repro.multimodal import BrowseGraph, Browser, InteractionSession, StandingQuery
 from repro.workloads import QueryWorkloadGenerator
 
 TOPIC = "folk-jewelry"
@@ -71,9 +71,9 @@ def _build_session_world(seed):
         return [hit.match.item for hit in agora.feeds.drain(profile.user_id)]
 
     actions = {"query": query_action, "browse": browse_action, "feed": feed_action}
-    is_relevant = lambda item: (
-        agora.topic_space.relevance(profile.interests, item.latent) >= 0.75
-    )
+    def is_relevant(item):
+        return agora.topic_space.relevance(profile.interests, item.latent) >= 0.75
+
     return agora, profile, actions, is_relevant
 
 

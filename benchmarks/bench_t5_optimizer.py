@@ -22,7 +22,6 @@ from repro.optimizer import (
     baseline_suite,
     make_evaluator,
     pareto_front,
-    regret,
 )
 from repro.qos import QoSVector, QoSWeights
 from repro.query import Query, QueryKind
@@ -96,7 +95,6 @@ def run_t5(seed=29, trials=15, n_jobs=4, n_sources=6) -> ExperimentResult:
         exhaustive = ExhaustiveSearch().search(table, evaluator)
         all_evaluations = exhaustive.front
         front_sizes.append(len(pareto_front(all_evaluations)))
-        reference = [exhaustive.best]
         for name, plan_fn in planners.items():
             evaluation = plan_fn(table)
             utilities[name].append(evaluation.utility)
@@ -127,7 +125,7 @@ def run_t5(seed=29, trials=15, n_jobs=4, n_sources=6) -> ExperimentResult:
             wins / len(random_utilities),
         )
     result.add_note(
-        f"mean Pareto-front size over the plan space: "
+        "mean Pareto-front size over the plan space: "
         f"{np.mean(front_sizes):.1f} plans (multi-objective structure exists)"
     )
     return result

@@ -143,7 +143,6 @@ def run_t7_privacy(agora, store, graph) -> ExperimentResult:
         "T7b", "Privacy filtering of the social neighbourhood",
         ["interests_visibility", "mean_visible_neighbours"],
     )
-    probe = store.load(store.user_ids()[0])
     for label, level in [("public", Visibility.PUBLIC),
                          ("friends", Visibility.FRIENDS),
                          ("private", Visibility.PRIVATE)]:

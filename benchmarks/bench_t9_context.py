@@ -148,7 +148,7 @@ def run_t9(seed=59, n_users=6, queries_per_context=4) -> ExperimentResult:
                  "conditional_inferred_context"):
         result.add_row(name, summarize(ndcg[name]).mean)
     result.add_note(
-        f"context inference task accuracy: "
+        "context inference task accuracy: "
         f"{inference_correct / max(inference_total, 1):.2f}"
     )
     return result

@@ -8,7 +8,6 @@ multi-query optimizer executes overlapping retrieval jobs only once.
 Run with:  python examples/collaborative_research.py
 """
 
-import numpy as np
 
 from repro import Consumer, UserProfile, build_agora
 from repro.collaboration import CollaborationSession, SharedJobExecutor
@@ -65,7 +64,7 @@ def main() -> None:
     result = consumers["maria"].ask(continued)
     new = session.record_results("maria", result.results,
                                  thread_id=threads["iris"].thread_id)
-    print(f"  maria re-ran Iris's query under her own profile: "
+    print("  maria re-ran Iris's query under her own profile: "
           f"{new} new items (thread takeovers: {threads['iris'].taken_over_by})")
 
     # ------------------------------------------------------------------

@@ -11,7 +11,6 @@ Run with:  python examples/iris_scenario.py
 """
 
 from repro import QoSRequirement, build_agora
-from repro.personalization import PersonalizedRanker
 from repro.social import AffinityIndex, SocialRanker
 from repro.workloads import build_iris_scenario
 
@@ -59,7 +58,7 @@ def main() -> None:
     index = AffinityIndex(scenario.profile_store, scenario.social_graph,
                           privacy=scenario.privacy)
     neighbours = index.neighbourhood(iris.active_profile(), k=3)
-    print(f"Iris's visible neighbourhood: "
+    print("Iris's visible neighbourhood: "
           f"{[(n.user_id, round(n.affinity, 2)) for n in neighbours]}")
     costume_query = scenario.workload.topic_query(
         "traditional-costume", k=10, issuer_id="iris",

@@ -85,7 +85,7 @@ def contract_net_market() -> None:
     broker_only = outer.run(cfp, [broker])
     if broker_only.awarded is not None:
         record = broker.records[-1]
-        print(f"  broker wins when it is the only seller: pays "
+        print("  broker wins when it is the only seller: pays "
               f"{record.inner.total_price:.3f} downstream "
               f"({record.inner.provider_id}), charges "
               f"{record.outer.total_price:.3f}, margin "
@@ -93,9 +93,9 @@ def contract_net_market() -> None:
     mixed = ContractNetProtocol(consumer_bid_score(QoSWeights())).run(
         cfp, bidders + [broker]
     )
-    print(f"  with direct sources in the market the award goes to: "
+    print("  with direct sources in the market the award goes to: "
           f"{mixed.awarded.provider_id} (brokers cannot beat their own "
-          f"suppliers on price)")
+          "suppliers on price)")
 
 
 if __name__ == "__main__":

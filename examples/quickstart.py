@@ -47,7 +47,7 @@ def main() -> None:
           f"(net cost after compensation: {result.net_cost:.2f})")
     print(f"Consumer utility: {result.utility:.3f}")
 
-    print(f"\nTop results (personalized ranking):")
+    print("\nTop results (personalized ranking):")
     for item in result.ranked_items[:5]:
         relevance = agora.oracle.relevance(query, item)
         print(f"  [{item.domain:>12}] {item.item_id}  "

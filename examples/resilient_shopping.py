@@ -97,7 +97,7 @@ def main() -> None:
         relaxation_step=0.5, max_relaxations=4,
     )
     final_req = relaxed.query.requirement
-    print(f"  after relaxation: served with min_completeness="
+    print("  after relaxation: served with min_completeness="
           f"{final_req.min_completeness:.2f}, "
           f"{len(relaxed.ranked_items)} results, "
           f"utility {relaxed.utility:.3f}")

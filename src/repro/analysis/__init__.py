@@ -1,0 +1,52 @@
+"""Static determinism & simulation-safety analysis (rules AGR001-AGR008).
+
+The sim kernel's contract — same root seed, identical run — is enforced
+dynamically by the property tests and *statically* here: an AST-based
+rule engine flags wall-clock reads, unseeded randomness, hash-ordered
+effect loops, float timestamp equality, mutable defaults, kernel-internal
+poking, overbroad exception handling in recovery paths, and layering
+violations against the declared package DAG.
+
+Run it as ``python -m repro.analysis [paths...]``; suppress a finding
+inline with ``# agora: ignore[AGR00x] reason``.
+
+Public API:
+
+- :class:`AnalysisEngine`, :class:`AnalysisReport`, :class:`FileReport` —
+  programmatic analysis.
+- :class:`Violation`, :class:`Suppression` — report records.
+- ``DEFAULT_RULES``, ``RULE_INDEX`` — the rule registry.
+- :func:`render_text`, :func:`render_json` — reporters.
+- ``LAYER_DEPS``, ``INTERFACE_MODULES`` — the declared layer DAG.
+"""
+
+from repro.analysis.engine import (
+    AnalysisEngine,
+    AnalysisReport,
+    FileReport,
+    module_name_for,
+)
+from repro.analysis.layering import INTERFACE_MODULES, LAYER_DEPS, check_import
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import DEFAULT_RULES, RULE_INDEX, Rule, RuleContext
+from repro.analysis.suppressions import parse_suppressions
+from repro.analysis.violations import Suppression, Violation
+
+__all__ = [
+    "DEFAULT_RULES",
+    "INTERFACE_MODULES",
+    "LAYER_DEPS",
+    "RULE_INDEX",
+    "AnalysisEngine",
+    "AnalysisReport",
+    "FileReport",
+    "Rule",
+    "RuleContext",
+    "Suppression",
+    "Violation",
+    "check_import",
+    "module_name_for",
+    "parse_suppressions",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,186 @@
+"""The analysis engine: walk files, run rules, apply suppressions.
+
+The engine is deterministic by construction — files are visited in
+sorted order, violations are sorted by location, and no state leaks
+between files — so its own output is stable run-to-run, which the tests
+rely on.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.analysis.rules import DEFAULT_RULES, Rule, RuleContext
+from repro.analysis.suppressions import parse_suppressions
+from repro.analysis.violations import Suppression, Violation
+
+_MODULE_OVERRIDE_PREFIX = "# module:"
+
+
+@dataclass
+class FileReport:
+    """Outcome of analysing one file."""
+
+    path: str
+    module: Optional[str]
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    parse_error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the file is clean (no active violations, parseable)."""
+        return not self.violations and self.parse_error is None
+
+
+@dataclass
+class AnalysisReport:
+    """Aggregate outcome over a set of files."""
+
+    files: List[FileReport] = field(default_factory=list)
+
+    @property
+    def violations(self) -> List[Violation]:
+        """All active (non-suppressed) violations, sorted by location."""
+        found = [v for report in self.files for v in report.violations]
+        return sorted(found)
+
+    @property
+    def suppressed(self) -> List[Violation]:
+        """All violations silenced by an inline suppression."""
+        found = [v for report in self.files for v in report.suppressed]
+        return sorted(found)
+
+    @property
+    def suppressions(self) -> List[Suppression]:
+        """Every suppression comment found, used or not."""
+        return [s for report in self.files for s in report.suppressions]
+
+    @property
+    def parse_errors(self) -> List[Tuple[str, str]]:
+        """(path, error) pairs for files that failed to parse."""
+        return [
+            (report.path, report.parse_error)
+            for report in self.files
+            if report.parse_error is not None
+        ]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the whole run is clean."""
+        return all(report.ok for report in self.files)
+
+
+def module_name_for(path: Union[str, Path]) -> Optional[str]:
+    """Derive the dotted module name of a file under a ``src`` layout.
+
+    ``.../src/repro/sim/kernel.py`` → ``repro.sim.kernel``;
+    ``__init__.py`` maps to its package.  Returns ``None`` for files not
+    under a ``repro`` package root.
+    """
+    parts = Path(path).with_suffix("").parts
+    for anchor in ("repro",):
+        if anchor in parts:
+            index = parts.index(anchor)
+            dotted = list(parts[index:])
+            if dotted[-1] == "__init__":
+                dotted.pop()
+            return ".".join(dotted)
+    return None
+
+
+def _module_override(source: str) -> Optional[str]:
+    for line in source.splitlines()[:5]:
+        stripped = line.strip()
+        if stripped.startswith(_MODULE_OVERRIDE_PREFIX):
+            return stripped[len(_MODULE_OVERRIDE_PREFIX):].strip() or None
+    return None
+
+
+class AnalysisEngine:
+    """Runs a rule set over source files and applies suppressions."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+        self.rules: Tuple[Rule, ...] = tuple(rules if rules is not None else DEFAULT_RULES)
+
+    # ------------------------------------------------------------------
+    def check_source(
+        self,
+        source: str,
+        path: str = "<string>",
+        module: Optional[str] = None,
+    ) -> FileReport:
+        """Analyse one in-memory module.
+
+        A leading ``# module: dotted.name`` comment overrides ``module`` —
+        this is how fixture files declare where they pretend to live.
+        """
+        override = _module_override(source)
+        if override is not None:
+            module = override
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            return FileReport(
+                path=path,
+                module=module,
+                parse_error=f"line {error.lineno}: {error.msg}",
+            )
+        ctx = RuleContext(path=path, source=source, tree=tree, module=module)
+        raw: List[Violation] = []
+        for rule in self.rules:
+            raw.extend(rule.check(ctx))
+        suppressions = parse_suppressions(source, path)
+        active: List[Violation] = []
+        silenced: List[Violation] = []
+        used_lines: Set[Tuple[int, Tuple[str, ...]]] = set()
+        for violation in sorted(raw):
+            covering = next(
+                (s for s in suppressions if s.covers(violation)), None
+            )
+            if covering is None:
+                active.append(violation)
+            else:
+                silenced.append(violation)
+                used_lines.add((covering.line, covering.rule_ids))
+        marked = [
+            Suppression(
+                path=s.path,
+                line=s.line,
+                rule_ids=s.rule_ids,
+                reason=s.reason,
+                used=(s.line, s.rule_ids) in used_lines,
+            )
+            for s in suppressions
+        ]
+        return FileReport(
+            path=path,
+            module=module,
+            violations=active,
+            suppressed=silenced,
+            suppressions=marked,
+        )
+
+    def check_file(self, path: Union[str, Path]) -> FileReport:
+        """Analyse one file on disk."""
+        file_path = Path(path)
+        source = file_path.read_text(encoding="utf-8")
+        return self.check_source(
+            source, path=str(file_path), module=module_name_for(file_path)
+        )
+
+    def check_paths(self, paths: Iterable[Union[str, Path]]) -> AnalysisReport:
+        """Analyse files and directories (recursing into ``*.py``)."""
+        report = AnalysisReport()
+        for path in paths:
+            target = Path(path)
+            if target.is_dir():
+                for file_path in sorted(target.rglob("*.py")):
+                    report.files.append(self.check_file(file_path))
+            else:
+                report.files.append(self.check_file(target))
+        return report

@@ -1,0 +1,127 @@
+"""The declared layer DAG of ``repro`` packages.
+
+Each top-level package lists the packages it may import at runtime.  The
+graph is acyclic: the sim kernel sits at the bottom and must import
+nothing from the library (a kernel that imports domain code can never be
+reasoned about in isolation, and an accidental ``repro.sim`` →
+``repro.core`` edge is how determinism bugs smuggle themselves into the
+clock).  ``repro.core`` is the composition root at the top;
+``repro.workloads`` sits above it because workloads script whole agoras.
+
+``import`` statements inside ``if TYPE_CHECKING:`` blocks are exempt —
+they cannot affect runtime behaviour and are the sanctioned way to
+annotate against a higher layer.
+
+A few *interface modules* are pinned beneath their home package:
+``repro.query.model`` defines the plain query/subquery dataclasses that
+sources consume, so ``repro.sources`` may import it even though the rest
+of ``repro.query`` (executor, adaptive re-planning) sits above sources.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+#: package -> packages it may import at runtime (besides itself/stdlib).
+LAYER_DEPS: Dict[str, FrozenSet[str]] = {
+    "sim": frozenset(),
+    "analysis": frozenset(),
+    "trust": frozenset(),
+    "experiments": frozenset(),
+    "data": frozenset({"sim"}),
+    "net": frozenset({"sim"}),
+    "qos": frozenset({"sim"}),
+    "uncertainty": frozenset({"data", "sim"}),
+    "resilience": frozenset({"net", "qos", "sim"}),
+    "sources": frozenset({"data", "net", "qos", "sim", "trust", "uncertainty"}),
+    "query": frozenset(
+        {"data", "qos", "resilience", "sim", "sources", "uncertainty"}
+    ),
+    "negotiation": frozenset({"qos", "sim"}),
+    "personalization": frozenset({"data", "negotiation", "qos", "uncertainty"}),
+    "context": frozenset({"personalization", "qos"}),
+    "social": frozenset({"data", "personalization", "trust", "uncertainty"}),
+    "multimodal": frozenset(
+        {"data", "personalization", "query", "sim", "sources", "uncertainty"}
+    ),
+    "collaboration": frozenset(
+        {"data", "personalization", "query", "uncertainty"}
+    ),
+    "optimizer": frozenset(
+        {"negotiation", "qos", "query", "sim", "sources", "trust", "uncertainty"}
+    ),
+    "core": frozenset(
+        {
+            "context",
+            "data",
+            "multimodal",
+            "negotiation",
+            "net",
+            "optimizer",
+            "personalization",
+            "qos",
+            "query",
+            "resilience",
+            "sim",
+            "social",
+            "sources",
+            "trust",
+            "uncertainty",
+        }
+    ),
+    "workloads": frozenset(
+        {
+            "core",
+            "data",
+            "multimodal",
+            "personalization",
+            "qos",
+            "query",
+            "sim",
+            "social",
+            "uncertainty",
+        }
+    ),
+}
+
+#: Modules pinned beneath their home package: importer package -> modules
+#: it may import from otherwise-forbidden packages.
+INTERFACE_MODULES: Dict[str, FrozenSet[str]] = {
+    "sources": frozenset({"repro.query.model"}),
+}
+
+
+def package_of(module: str) -> Optional[str]:
+    """Top-level ``repro`` subpackage of a dotted module name, if any."""
+    parts = module.split(".")
+    if parts[0] != "repro" or len(parts) < 2:
+        return None
+    return parts[1]
+
+
+def check_import(
+    importer_module: str, imported_module: str
+) -> Tuple[bool, Optional[str]]:
+    """Validate one runtime import edge against the layer DAG.
+
+    Returns ``(allowed, importer_package)``.  Imports of non-``repro``
+    modules, intra-package imports, and imports from undeclared packages
+    (treated as unrestricted, e.g. the ``repro`` facade itself) are
+    allowed.
+    """
+    importer_pkg = package_of(importer_module)
+    imported_pkg = package_of(imported_module)
+    if imported_pkg is None:
+        return True, importer_pkg
+    if importer_pkg is None or importer_pkg == imported_pkg:
+        return True, importer_pkg
+    if importer_pkg not in LAYER_DEPS:
+        return True, importer_pkg
+    if imported_pkg in LAYER_DEPS.get(importer_pkg, frozenset()):
+        return True, importer_pkg
+    allowed_modules = INTERFACE_MODULES.get(importer_pkg, frozenset())
+    if imported_module in allowed_modules:
+        return True, importer_pkg
+    if any(imported_module.startswith(mod + ".") for mod in allowed_modules):
+        return True, importer_pkg
+    return False, importer_pkg

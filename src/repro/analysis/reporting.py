@@ -1,0 +1,57 @@
+"""Text and JSON reporters over an :class:`AnalysisReport`."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.analysis.engine import AnalysisReport
+
+
+def render_text(report: AnalysisReport, show_suppressions: bool = False) -> str:
+    """Human-readable report: one line per violation plus a summary."""
+    lines: List[str] = []
+    for path, error in report.parse_errors:
+        lines.append(f"{path}: parse error: {error}")
+    for violation in report.violations:
+        lines.append(violation.render())
+    if show_suppressions:
+        for suppression in report.suppressions:
+            status = "used" if suppression.used else "UNUSED"
+            rules = ",".join(suppression.rule_ids)
+            reason = suppression.reason or "(no reason given)"
+            lines.append(
+                f"{suppression.path}:{suppression.line}: suppression "
+                f"[{rules}] ({status}) — {reason}"
+            )
+    n_files = len(report.files)
+    n_violations = len(report.violations)
+    n_suppressed = len(report.suppressed)
+    summary = (
+        f"{n_violations} violation{'s' if n_violations != 1 else ''}"
+        f" ({n_suppressed} suppressed) across {n_files} "
+        f"file{'s' if n_files != 1 else ''}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    """Machine-readable report for CI annotation tooling."""
+    payload: Dict[str, Any] = {
+        "ok": report.ok,
+        "files": len(report.files),
+        "summary": {
+            "files": len(report.files),
+            "violations": len(report.violations),
+            "suppressed": len(report.suppressed),
+            "parse_errors": len(report.parse_errors),
+        },
+        "violations": [v.as_dict() for v in report.violations],
+        "suppressed": [v.as_dict() for v in report.suppressed],
+        "suppressions": [s.as_dict() for s in report.suppressions],
+        "parse_errors": [
+            {"path": path, "error": error} for path, error in report.parse_errors
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

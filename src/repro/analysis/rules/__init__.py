@@ -1,0 +1,48 @@
+"""The determinism/simulation-safety rule registry.
+
+``DEFAULT_RULES`` is the canonical ordered tuple the engine runs;
+``RULE_INDEX`` maps rule ids to instances for CLI ``--rules`` selection
+and documentation generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.analysis.rules.base import Rule, RuleContext
+from repro.analysis.rules.defaults import MutableDefaultRule
+from repro.analysis.rules.exceptions import OverbroadExceptRule
+from repro.analysis.rules.floats import FloatTimeEqualityRule
+from repro.analysis.rules.internals import KernelInternalsRule
+from repro.analysis.rules.layers import LayeringRule
+from repro.analysis.rules.ordering import UnorderedIterationRule
+from repro.analysis.rules.randomness import UnseededRandomnessRule
+from repro.analysis.rules.wallclock import WallClockRule
+
+DEFAULT_RULES: Tuple[Rule, ...] = (
+    WallClockRule(),
+    UnseededRandomnessRule(),
+    UnorderedIterationRule(),
+    FloatTimeEqualityRule(),
+    MutableDefaultRule(),
+    KernelInternalsRule(),
+    OverbroadExceptRule(),
+    LayeringRule(),
+)
+
+RULE_INDEX: Dict[str, Rule] = {rule.rule_id: rule for rule in DEFAULT_RULES}
+
+__all__ = [
+    "DEFAULT_RULES",
+    "RULE_INDEX",
+    "FloatTimeEqualityRule",
+    "KernelInternalsRule",
+    "LayeringRule",
+    "MutableDefaultRule",
+    "OverbroadExceptRule",
+    "Rule",
+    "RuleContext",
+    "UnorderedIterationRule",
+    "UnseededRandomnessRule",
+    "WallClockRule",
+]

@@ -1,0 +1,117 @@
+"""Rule base class and the per-file context handed to every rule.
+
+The :class:`RuleContext` pre-computes the pieces most rules need: the
+parsed AST, an import-alias table that resolves local names to canonical
+dotted paths (``np.random.seed`` → ``numpy.random.seed`` even under
+``import numpy as np``), and the set of line numbers inside
+``if TYPE_CHECKING:`` blocks (type-only imports are exempt from the
+layering rule because they cannot affect runtime behaviour).
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.analysis.violations import Violation
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    return isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING"
+
+
+class RuleContext:
+    """Everything a rule may inspect about one module."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module, module: Optional[str]):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        #: Dotted module name (``repro.sim.kernel``) when known, else ``None``.
+        self.module = module
+        self.lines: List[str] = source.splitlines()
+        self._aliases = self._collect_aliases(tree)
+        self.type_checking_linenos: Set[int] = self._collect_type_checking(tree)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _collect_aliases(tree: ast.Module) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    local = name.asname or name.name.split(".")[0]
+                    canonical = name.name if name.asname else name.name.split(".")[0]
+                    aliases[local] = canonical
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    local = name.asname or name.name
+                    aliases[local] = f"{node.module}.{name.name}"
+        return aliases
+
+    @staticmethod
+    def _collect_type_checking(tree: ast.Module) -> Set[int]:
+        linenos: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+                for child in node.body:
+                    for sub in ast.walk(child):
+                        if hasattr(sub, "lineno"):
+                            linenos.add(sub.lineno)
+        return linenos
+
+    # ------------------------------------------------------------------
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a ``Name``/``Attribute`` chain.
+
+        Returns ``None`` when the chain does not bottom out in an imported
+        (or builtin) name — e.g. ``self.x.y`` resolves to ``None``.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self._aliases.get(current.id, current.id)
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def in_package(self, *prefixes: str) -> bool:
+        """Whether this module sits under any of the dotted ``prefixes``."""
+        if self.module is None:
+            return False
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+
+class Rule(ABC):
+    """One statically checkable determinism/simulation-safety contract."""
+
+    rule_id: str = "AGR000"
+    title: str = ""
+    rationale: str = ""
+
+    @abstractmethod
+    def check(self, ctx: RuleContext) -> Iterable[Violation]:
+        """Yield every violation of this rule in ``ctx``'s module."""
+
+    def violation(self, ctx: RuleContext, node: ast.AST, message: str) -> Violation:
+        """Build a :class:`Violation` anchored at ``node``."""
+        return Violation(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )

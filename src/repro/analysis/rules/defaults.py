@@ -1,0 +1,63 @@
+"""AGR005 — mutable default arguments.
+
+A mutable default is shared across every call of the function; state
+leaks between simulation runs that should be independent, which is a
+classic way for run N's results to depend on whether run N-1 happened.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.analysis.rules.base import Rule, RuleContext
+from repro.analysis.violations import Violation
+
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "Counter", "deque", "OrderedDict"}
+)
+
+
+def _mutable_kind(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.List):
+        return "list literal"
+    if isinstance(node, ast.Dict):
+        return "dict literal"
+    if isinstance(node, ast.Set):
+        return "set literal"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "comprehension"
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in _MUTABLE_CALLS:
+            return f"{node.func.id}() call"
+    return None
+
+
+class MutableDefaultRule(Rule):
+    """Flag list/dict/set (literals or constructor calls) as defaults."""
+
+    rule_id = "AGR005"
+    title = "mutable default argument"
+    rationale = (
+        "Mutable defaults are shared across calls, leaking state between "
+        "runs; default to None and construct inside the function."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults: List[Optional[ast.expr]] = list(node.args.defaults)
+            defaults.extend(node.args.kw_defaults)
+            for default in defaults:
+                if default is None:
+                    continue
+                kind = _mutable_kind(default)
+                if kind is None:
+                    continue
+                yield self.violation(
+                    ctx,
+                    default,
+                    f"mutable default ({kind}) is shared across calls; "
+                    "default to None and build it inside the function",
+                )

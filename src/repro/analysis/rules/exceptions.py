@@ -1,0 +1,75 @@
+"""AGR007 — bare / overbroad exception handlers in recovery paths.
+
+Resilience and execution code is exactly where a swallowed
+``KeyboardInterrupt`` or an accidentally-caught programming error turns
+into a silent wrong answer: a breaker that "handles" a TypeError records
+it as a source failure and the run diverges instead of crashing.  Bare
+``except:`` is banned everywhere in the library; ``except Exception`` /
+``except BaseException`` is banned in the resilience/execution paths
+unless the handler re-raises.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import Rule, RuleContext
+from repro.analysis.violations import Violation
+
+#: Dotted prefixes where broad handlers are disallowed outright.
+_STRICT_PACKAGES = (
+    "repro.resilience",
+    "repro.query.execution",
+    "repro.core",
+    "repro.net",
+)
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for node in ast.walk(handler))
+
+
+def _broad_names(node: ast.expr) -> Iterator[str]:
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    for expr in exprs:
+        if isinstance(expr, ast.Name) and expr.id in _BROAD:
+            yield expr.id
+
+
+class OverbroadExceptRule(Rule):
+    """Flag bare excepts and non-re-raising broad handlers."""
+
+    rule_id = "AGR007"
+    title = "bare/overbroad except"
+    rationale = (
+        "Broad handlers in recovery paths convert programming errors into "
+        "fake source failures and silently divergent runs."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        if not ctx.in_package("repro"):
+            return
+        strict = ctx.in_package(*_STRICT_PACKAGES)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare `except:` catches SystemExit/KeyboardInterrupt; "
+                    "name the exceptions this path can actually recover from",
+                )
+                continue
+            if not strict or _reraises(node):
+                continue
+            for name in _broad_names(node.type):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`except {name}` in a resilience/execution path without "
+                    "re-raise; catch the specific recoverable exceptions",
+                )

@@ -1,0 +1,85 @@
+"""AGR004 — exact float equality on simulation timestamps.
+
+Virtual times are accumulated floats; two logically simultaneous events
+can differ by one ulp depending on the arithmetic path that produced
+them.  ``==``/``!=`` on time-like values therefore encodes a latent
+platform dependence — compare with a tolerance or restructure so the
+kernel's (time, priority, seq) ordering decides.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.rules.base import Rule, RuleContext
+from repro.analysis.violations import Violation
+
+_TIME_NAMES = frozenset(
+    {
+        "now",
+        "time",
+        "timestamp",
+        "elapsed",
+        "deadline",
+        "latency",
+        "response_time",
+        "recovery_time",
+        "arrival",
+        "due",
+    }
+)
+
+_TIME_SUFFIXES = ("_time", "_at", "_deadline", "_elapsed", "_latency")
+
+
+def _time_like_name(expr: ast.expr) -> Optional[str]:
+    """The time-ish identifier an expression reads, if any."""
+    name: Optional[str] = None
+    if isinstance(expr, ast.Name):
+        name = expr.id
+    elif isinstance(expr, ast.Attribute):
+        name = expr.attr
+    if name is None:
+        return None
+    if name in _TIME_NAMES or name.endswith(_TIME_SUFFIXES):
+        return name
+    return None
+
+
+class FloatTimeEqualityRule(Rule):
+    """Flag ``==`` / ``!=`` where either side is a simulation timestamp."""
+
+    rule_id = "AGR004"
+    title = "float equality on timestamps"
+    rationale = (
+        "Accumulated virtual times differ by ulps across arithmetic paths; "
+        "exact comparison is platform-dependent."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        if not ctx.in_package("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            ops = node.ops
+            for i, op in enumerate(ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[i], operands[i + 1]
+                if any(
+                    isinstance(side, ast.Constant) and side.value is None
+                    for side in (left, right)
+                ):
+                    continue
+                name = _time_like_name(left) or _time_like_name(right)
+                if name is None:
+                    continue
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"exact float comparison on timestamp `{name}`; use a "
+                    "tolerance (math.isclose) or order-based logic",
+                )

@@ -1,0 +1,67 @@
+"""AGR006 — reaching into kernel internals from outside ``repro.sim``.
+
+The determinism contract is maintained *inside* the kernel: the event
+heap's (time, priority, seq) order, the private clock, and the stream
+registry.  Code outside ``repro.sim`` that reads or writes those
+internals (``sim._queue``, ``queue._heap``, assigning ``sim.now``)
+bypasses every invariant the kernel enforces.
+
+Accessing a ``self``-owned attribute that happens to share a name (e.g. a
+breaker's own ``self._now``) is fine — the rule only fires on foreign
+objects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import Rule, RuleContext
+from repro.analysis.violations import Violation
+
+#: Kernel-private attributes nobody outside repro.sim may touch.
+_PRIVATE_ATTRS = frozenset({"_heap", "_queue", "_now", "_streams", "_counter"})
+
+#: Public kernel attributes that may be read anywhere but written only
+#: by the kernel itself.
+_WRITE_PROTECTED = frozenset({"now"})
+
+
+def _is_self_or_cls(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Name) and expr.id in ("self", "cls")
+
+
+class KernelInternalsRule(Rule):
+    """Flag foreign access to kernel-private state outside ``repro.sim``."""
+
+    rule_id = "AGR006"
+    title = "kernel internals access"
+    rationale = (
+        "The event heap, private clock and stream registry uphold the "
+        "determinism contract; touch them only through the kernel API."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        if not ctx.in_package("repro") or ctx.in_package("repro.sim"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if _is_self_or_cls(node.value):
+                continue
+            if node.attr in _PRIVATE_ATTRS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"access to kernel-private `.{node.attr}` outside "
+                    "repro.sim; use the public kernel API",
+                )
+            elif node.attr in _WRITE_PROTECTED and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "assigning `.now` rewinds/forwards the virtual clock "
+                    "outside the kernel; schedule events instead",
+                )

@@ -1,0 +1,61 @@
+"""AGR008 — layering violations against the declared package DAG.
+
+See :mod:`repro.analysis.layering` for the DAG itself.  The canonical
+catch: ``repro.sim`` importing anything from the library would let domain
+state leak into the kernel and is flagged here long before it becomes an
+import cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.analysis.layering import LAYER_DEPS, check_import, package_of
+from repro.analysis.rules.base import Rule, RuleContext
+from repro.analysis.violations import Violation
+
+
+def _imported_modules(node: ast.stmt) -> List[str]:
+    if isinstance(node, ast.Import):
+        return [name.name for name in node.names]
+    if isinstance(node, ast.ImportFrom) and node.module and not node.level:
+        return [node.module]
+    return []
+
+
+class LayeringRule(Rule):
+    """Enforce the declared layer DAG on runtime imports."""
+
+    rule_id = "AGR008"
+    title = "layering violation"
+    rationale = (
+        "Runtime imports must follow the declared package DAG; the sim "
+        "kernel stays a leaf and composition happens in repro.core."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        if ctx.module is None or not ctx.module.startswith("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if node.lineno in ctx.type_checking_linenos:
+                continue
+            for imported in _imported_modules(node):
+                allowed, importer_pkg = check_import(ctx.module, imported)
+                if allowed:
+                    continue
+                declared: Tuple[str, ...] = tuple(
+                    sorted(LAYER_DEPS.get(importer_pkg or "", frozenset()))
+                )
+                imported_pkg = package_of(imported)
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"`repro.{importer_pkg}` may not import "
+                    f"`repro.{imported_pkg}` at runtime (declared deps: "
+                    f"{', '.join(declared) if declared else 'none'}); move "
+                    "the dependency down the DAG or gate it behind "
+                    "TYPE_CHECKING",
+                )

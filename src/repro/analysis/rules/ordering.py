@@ -1,0 +1,112 @@
+"""AGR003 — iteration over unordered collections feeding ordered work.
+
+Iterating a ``set`` (arbitrary order under ``PYTHONHASHSEED``) or a
+dict view in a loop that schedules events, draws randomness, or sends
+messages makes the *order* of those effects an accident of hashing or
+insertion history.  Wrapping the iterable in ``sorted(...)`` pins the
+order and silences the rule.
+
+The rule is sink-gated: plain aggregation over a dict view is fine; only
+loops whose body performs an order-sensitive effect are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.rules.base import Rule, RuleContext
+from repro.analysis.violations import Violation
+
+#: Method names whose call order is an observable simulation effect.
+_SINK_METHODS = frozenset(
+    {
+        "schedule",
+        "at",
+        "process",
+        "push",
+        "send",
+        "stream",
+        "fresh",
+        "spawn",
+        "choice",
+        "integers",
+        "shuffle",
+        "permutation",
+        "random",
+        "normal",
+        "uniform",
+    }
+)
+
+#: Wrappers that preserve (lack of) ordering of their first argument.
+_TRANSPARENT = frozenset({"list", "tuple", "reversed", "enumerate", "iter"})
+
+#: Calls producing explicitly unordered collections.
+_UNORDERED_CALLS = frozenset({"set", "frozenset"})
+
+#: Dict-view methods; insertion order is real but is itself a product of
+#: arbitrary upstream history, so effect-feeding loops must sort.
+_VIEW_METHODS = frozenset({"keys", "values", "items"})
+
+
+def _unordered_reason(node: ast.expr) -> Optional[str]:
+    """Why ``node`` iterates in unpinned order, or ``None`` if it doesn't."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set literal"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in _UNORDERED_CALLS:
+                return f"{func.id}()"
+            if func.id == "sorted":
+                return None
+            if func.id in _TRANSPARENT and node.args:
+                return _unordered_reason(node.args[0])
+        if isinstance(func, ast.Attribute) and func.attr in _VIEW_METHODS:
+            return f".{func.attr}()"
+    return None
+
+
+def _has_sink(body: ast.AST) -> Optional[ast.Call]:
+    for node in ast.walk(body):
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _SINK_METHODS:
+                return node
+    return None
+
+
+class UnorderedIterationRule(Rule):
+    """Require ``sorted(...)`` when unordered iteration feeds effects."""
+
+    rule_id = "AGR003"
+    title = "unordered iteration feeding effects"
+    rationale = (
+        "Loops over sets/dict views that schedule, send, or draw randomness "
+        "make effect order depend on hashing; wrap the iterable in sorted()."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        if not ctx.in_package("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.For):
+                continue
+            reason = _unordered_reason(node.iter)
+            if reason is None:
+                continue
+            sink = None
+            for stmt in node.body + node.orelse:
+                sink = _has_sink(stmt)
+                if sink is not None:
+                    break
+            if sink is None:
+                continue
+            sink_name = sink.func.attr if isinstance(sink.func, ast.Attribute) else "?"
+            yield self.violation(
+                ctx,
+                node.iter,
+                f"iterating {reason} while calling `.{sink_name}(...)` makes "
+                "effect order hash-dependent; wrap the iterable in sorted()",
+            )

@@ -1,0 +1,92 @@
+"""AGR002 — unseeded / global-state randomness.
+
+All stochastic draws must come from :class:`repro.sim.rng.RngStreams`
+named streams (or a generator explicitly seeded from one).  The stdlib
+``random`` module and numpy's module-level global RandomState functions
+(``np.random.seed``, ``np.random.random``, …) are process-global mutable
+state: any library touching them perturbs every other component's draws
+and destroys seed-stability.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import Rule, RuleContext
+from repro.analysis.violations import Violation
+
+#: numpy.random attributes that are legitimate, explicitly-seeded APIs.
+_ALLOWED_NUMPY = frozenset(
+    {
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "MT19937",
+        "SFC64",
+        "default_rng",
+    }
+)
+
+
+class UnseededRandomnessRule(Rule):
+    """Ban the stdlib ``random`` module and numpy's global RandomState."""
+
+    rule_id = "AGR002"
+    title = "unseeded randomness"
+    rationale = (
+        "Global RNG state breaks stream isolation; draw from RngStreams "
+        "named streams instead."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        if not ctx.in_package("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    if name.name == "random" or name.name.startswith("random."):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "stdlib `random` is process-global state; use "
+                            "RngStreams named streams",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and not node.level:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "stdlib `random` is process-global state; use "
+                        "RngStreams named streams",
+                    )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                if not isinstance(node.ctx, ast.Load):
+                    continue
+                resolved = ctx.resolve(node)
+                if resolved is None or not resolved.startswith("numpy.random."):
+                    continue
+                leaf = resolved.split(".")[2]
+                if leaf not in _ALLOWED_NUMPY:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"`{resolved}` uses numpy's global RandomState; draw "
+                        "from an RngStreams named stream",
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = ctx.resolve(node.func)
+                if (
+                    resolved == "numpy.random.default_rng"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "`default_rng()` without a seed is entropy-seeded; "
+                        "derive the seed from an RngStreams stream name",
+                    )

@@ -1,0 +1,64 @@
+"""AGR001 — wall-clock reads inside the library.
+
+Simulation code must tell time through ``Simulator.now`` (virtual time);
+reading the host clock makes a run depend on machine speed and breaks the
+same-seed-same-run contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.rules.base import Rule, RuleContext
+from repro.analysis.violations import Violation
+
+_BANNED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+
+class WallClockRule(Rule):
+    """Ban host-clock reads in favour of the kernel's virtual clock."""
+
+    rule_id = "AGR001"
+    title = "wall-clock read"
+    rationale = (
+        "Host-clock reads make runs machine-dependent; use Simulator.now "
+        "(virtual time) instead."
+    )
+
+    def check(self, ctx: RuleContext) -> Iterator[Violation]:
+        if not ctx.in_package("repro"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue
+            resolved = ctx.resolve(node)
+            if resolved in _BANNED:
+                # Only report the outermost matching chain, not `time` inside
+                # `time.time` — Name nodes resolving to a bare module never
+                # hit _BANNED, so no dedup pass is needed.
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock read `{resolved}`; use the simulator's "
+                    "virtual clock (Simulator.now) instead",
+                )

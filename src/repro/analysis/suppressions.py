@@ -1,0 +1,51 @@
+"""Parsing of inline ``# agora: ignore[AGR00x] reason`` comments.
+
+The syntax mirrors mypy/ruff inline ignores so reviewers only learn one
+shape::
+
+    sim.schedule(delay, cb)  # agora: ignore[AGR003] order fixed upstream
+    value = draw()           # agora: ignore[AGR002,AGR004] seeded by caller
+
+A suppression silences the listed rules *on its own line only*.  The
+engine tracks which suppressions actually matched a violation so unused
+ones can be reported and removed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.analysis.violations import Suppression
+
+_SUPPRESSION_RE = re.compile(
+    r"#\s*agora:\s*ignore\[(?P<rules>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\]"
+    r"\s*(?P<reason>.*)$"
+)
+
+
+def parse_suppressions(source: str, path: str) -> List[Suppression]:
+    """Extract every suppression comment from ``source``.
+
+    Comments are matched textually per line; a suppression inside a string
+    literal would be a false positive, but the marker is unusual enough
+    that this has not mattered in practice and keeps parsing independent
+    of tokenisation errors.
+    """
+    found: List[Suppression] = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        found.append(
+            Suppression(
+                path=path,
+                line=lineno,
+                rule_ids=rule_ids,
+                reason=match.group("reason").strip(),
+            )
+        )
+    return found

@@ -1,0 +1,77 @@
+"""Violation and suppression records produced by the analysis engine.
+
+A :class:`Violation` pinpoints one broken determinism/simulation-safety
+rule at a (path, line, col).  A :class:`Suppression` is one inline
+``# agora: ignore[AGR00x] reason`` comment; the engine matches the two up
+and reports both what fired and what was silenced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule violation at a concrete source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The canonical one-line text form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One inline ``# agora: ignore[...]`` comment.
+
+    Attributes
+    ----------
+    path / line:
+        Where the comment sits; it silences violations on that line.
+    rule_ids:
+        The rule ids listed inside the brackets.
+    reason:
+        Free text after the bracket — the justification.  The engine
+        accepts an empty reason but reporters surface it so review can
+        push back.
+    """
+
+    path: str
+    line: int
+    rule_ids: Tuple[str, ...]
+    reason: str = ""
+    used: bool = field(default=False, compare=False)
+
+    def covers(self, violation: Violation) -> bool:
+        """Whether this comment silences ``violation``."""
+        return (
+            violation.path == self.path
+            and violation.line == self.line
+            and violation.rule_id in self.rule_ids
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for the JSON reporter."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rules": list(self.rule_ids),
+            "reason": self.reason,
+        }

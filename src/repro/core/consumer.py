@@ -136,8 +136,9 @@ class Consumer:
     @property
     def user_id(self) -> str:
         """The underlying (base) profile's user id."""
-        base = self._profile.base if isinstance(self._profile, ConditionalProfile) else self._profile
-        return base.user_id
+        if isinstance(self._profile, ConditionalProfile):
+            return self._profile.base.user_id
+        return self._profile.user_id
 
     def active_profile(self, context: Optional[Context] = None) -> UserProfile:
         """The profile in force under ``context`` (§8 activation)."""

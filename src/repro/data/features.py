@@ -53,10 +53,14 @@ class FeatureSetSpec:
 
 
 DEFAULT_FEATURE_SETS: Mapping[str, FeatureSetSpec] = {
-    "color_histogram": FeatureSetSpec("color_histogram", 16, fidelity=0.45, noise_scale=0.25, cost=1.0),
+    "color_histogram": FeatureSetSpec(
+        "color_histogram", 16, fidelity=0.45, noise_scale=0.25, cost=1.0,
+    ),
     "texture": FeatureSetSpec("texture", 12, fidelity=0.55, noise_scale=0.20, cost=1.5),
     "shape": FeatureSetSpec("shape", 8, fidelity=0.50, noise_scale=0.30, cost=1.2),
-    "content_metadata": FeatureSetSpec("content_metadata", 24, fidelity=0.85, noise_scale=0.08, cost=4.0),
+    "content_metadata": FeatureSetSpec(
+        "content_metadata", 24, fidelity=0.85, noise_scale=0.08, cost=4.0,
+    ),
 }
 
 

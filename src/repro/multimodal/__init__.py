@@ -12,7 +12,7 @@ Public API:
 """
 
 from repro.multimodal.annotations import AnnotationRecord, AnnotationService
-from repro.multimodal.browsing import Browser, BrowseGraph, BrowseStep
+from repro.multimodal.browsing import BrowseGraph, Browser, BrowseStep
 from repro.multimodal.feeds import (
     FeedHit,
     FeedService,

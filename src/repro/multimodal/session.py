@@ -116,7 +116,9 @@ class InteractionSession:
         """All discovered items in discovery order."""
         return [d.item for d in self.discoveries]
 
-    def steps_to_find(self, predicate: Callable[[InformationItem], bool], count: int) -> Optional[int]:
+    def steps_to_find(
+        self, predicate: Callable[[InformationItem], bool], count: int,
+    ) -> Optional[int]:
         """The step at which the ``count``-th matching item was found.
 
         Returns ``None`` when fewer than ``count`` matching items were

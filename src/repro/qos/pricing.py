@@ -65,7 +65,12 @@ class FlatPricing(PricingPolicy):
     flat_premium: float = 0.5
     compensation_multiple: float = 2.0
 
-    def quote(self, requirement, base_cost, breach_probability) -> Quote:
+    def quote(
+        self,
+        requirement: QoSRequirement,
+        base_cost: float,
+        breach_probability: float,
+    ) -> Quote:
         """Price one job under this policy."""
         self._check(base_cost, breach_probability)
         base_price = base_cost * self.margin
@@ -91,7 +96,12 @@ class RiskPricedPremium(PricingPolicy):
     loading: float = 0.25
     compensation_multiple: float = 2.0
 
-    def quote(self, requirement, base_cost, breach_probability) -> Quote:
+    def quote(
+        self,
+        requirement: QoSRequirement,
+        base_cost: float,
+        breach_probability: float,
+    ) -> Quote:
         """Price one job under this policy."""
         self._check(base_cost, breach_probability)
         base_price = base_cost * self.margin
@@ -114,7 +124,12 @@ class CompetitivePricing(PricingPolicy):
     competition_pressure: float = 0.1
     competitors: int = 1
 
-    def quote(self, requirement, base_cost, breach_probability) -> Quote:
+    def quote(
+        self,
+        requirement: QoSRequirement,
+        base_cost: float,
+        breach_probability: float,
+    ) -> Quote:
         """Price one job under this policy."""
         self._check(base_cost, breach_probability)
         if self.competitors < 1:

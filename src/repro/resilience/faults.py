@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.net.failures import LoadModel, NodeHealth
 from repro.sim.kernel import Simulator
@@ -171,7 +171,7 @@ class FaultInjector:
         return max(0.0, utilisation) * capacity
 
     # ------------------------------------------------------------------
-    def _schedule(self, time: float, action) -> None:
+    def _schedule(self, time: float, action: Callable[[], object]) -> None:
         self._sim.at(max(time, self._sim.now), action, tag="fault")
 
     def _begin_outage(self, node: str) -> None:

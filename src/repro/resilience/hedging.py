@@ -11,7 +11,7 @@ same item arriving from both the primary and the hedge counts once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, List, Optional
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 from repro.resilience.breaker import BreakerBoard
 
@@ -59,7 +59,7 @@ class HedgeSelector:
     ) -> List[str]:
         """Preference-ordered alternate source ids for ``subquery``."""
         excluded = set(exclude)
-        ranked = []
+        ranked: List[Tuple[float, str]] = []
         for descriptor in self.registry.candidates_for(subquery.domain):
             source_id = descriptor.source_id
             if source_id in excluded:

@@ -10,7 +10,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 
 @dataclass(order=True)
@@ -47,7 +47,7 @@ class EventQueue:
     """A priority queue of :class:`Event` objects."""
 
     def __init__(self) -> None:
-        self._heap: list = []
+        self._heap: List[Event] = []
         self._counter = itertools.count()
 
     def push(

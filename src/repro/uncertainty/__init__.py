@@ -37,16 +37,16 @@ from repro.uncertainty.matching import (
     build_matching_engine,
 )
 from repro.uncertainty.results import UncertainMatch, UncertainResultSet, merge_all
-from repro.uncertainty.salience import (
-    SalientPart,
-    concept_peakedness,
-    salient_parts,
-)
 from repro.uncertainty.risk import (
     RiskProfile,
     risk_averse,
     risk_neutral,
     risk_seeking,
+)
+from repro.uncertainty.salience import (
+    SalientPart,
+    concept_peakedness,
+    salient_parts,
 )
 from repro.uncertainty.similarity import (
     EnsembleSimilarity,

@@ -1,0 +1,13 @@
+# module: repro.core.fixture_wallclock
+"""Fixture: wall-clock reads that AGR001 must flag."""
+
+import time
+from datetime import datetime
+
+
+def stamp_things(sim):
+    started = time.time()  # expect: AGR001
+    elapsed = time.perf_counter()  # expect: AGR001
+    when = datetime.now()  # expect: AGR001
+    virtual = sim.now  # fine: the kernel's virtual clock
+    return started, elapsed, when, virtual

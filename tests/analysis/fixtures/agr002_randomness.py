@@ -1,0 +1,17 @@
+# module: repro.core.fixture_randomness
+"""Fixture: global-state randomness that AGR002 must flag."""
+
+import random  # expect: AGR002
+
+import numpy as np
+
+from random import choice  # expect: AGR002
+
+
+def draw_things(streams):
+    np.random.seed(1)  # expect: AGR002
+    noise = np.random.random()  # expect: AGR002
+    unseeded = np.random.default_rng()  # expect: AGR002
+    seeded = np.random.default_rng(42)  # fine: explicit seed
+    stream = streams.spawn("fixture")  # fine: named stream
+    return random, choice, noise, unseeded, seeded, stream

@@ -1,0 +1,15 @@
+# module: repro.core.fixture_ordering
+"""Fixture: unordered iteration feeding effects that AGR003 must flag."""
+
+
+def schedule_all(sim, handlers, rng):
+    for node_id in {"a", "b", "c"}:  # expect: AGR003
+        sim.schedule(1.0, node_id)
+    for name, handler in handlers.items():  # expect: AGR003
+        rng.choice([name, handler])
+    for node_id in sorted({"a", "b", "c"}):  # fine: pinned order
+        sim.schedule(1.0, node_id)
+    total = 0
+    for value in handlers.values():  # fine: aggregation has no effect order
+        total += value
+    return total

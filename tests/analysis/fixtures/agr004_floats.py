@@ -1,0 +1,10 @@
+# module: repro.core.fixture_floats
+"""Fixture: exact float comparisons on timestamps that AGR004 must flag."""
+
+
+def compare_times(event, other, deadline):
+    same = event.now == other.now  # expect: AGR004
+    distinct = event.arrival_time != deadline  # expect: AGR004
+    unset = deadline == None  # noqa: E711  # fine: sentinel check, not arithmetic
+    counted = event.count == 3  # fine: not time-like
+    return same, distinct, unset, counted

@@ -1,0 +1,24 @@
+# module: repro.core.fixture_defaults
+"""Fixture: mutable default arguments that AGR005 must flag."""
+
+from collections import defaultdict
+
+
+def append_to(item, items=[]):  # expect: AGR005
+    items.append(item)
+    return items
+
+
+def tally(key, *, counts={}):  # expect: AGR005
+    counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def group(pairs, buckets=defaultdict(list)):  # expect: AGR005
+    for key, value in pairs:
+        buckets[key].append(value)
+    return buckets
+
+
+def safe(item, items=None):  # fine: None sentinel
+    return [item] if items is None else items + [item]

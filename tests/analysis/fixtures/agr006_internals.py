@@ -1,0 +1,14 @@
+# module: repro.core.fixture_internals
+"""Fixture: kernel-internal access outside repro.sim that AGR006 must flag."""
+
+
+class Meddler:
+    def __init__(self):
+        self._now = 0.0  # fine: our own attribute, not the kernel's
+
+    def interfere(self, sim, queue):
+        sim._heap.append(object())  # expect: AGR006
+        drift = queue._now  # expect: AGR006
+        sim.now = 99.0  # expect: AGR006
+        legit = sim.now  # fine: reading the public clock
+        return drift, legit

@@ -1,0 +1,30 @@
+# module: repro.resilience.fixture_exceptions
+"""Fixture: overbroad exception handling that AGR007 must flag."""
+
+
+def swallow_everything(call):
+    try:
+        return call()
+    except:  # expect: AGR007
+        return None
+
+
+def absorb_broadly(call):
+    try:
+        return call()
+    except Exception:  # expect: AGR007
+        return None
+
+
+def rethrow(call):
+    try:
+        return call()
+    except Exception:  # fine: the handler re-raises
+        raise
+
+
+def narrow(call):
+    try:
+        return call()
+    except ValueError:  # fine: specific exception
+        return None

@@ -1,0 +1,19 @@
+# module: repro.sim.fixture_layers
+"""Fixture: layering violations that AGR008 must flag.
+
+The sim kernel is a leaf of the layer DAG: importing any other repro
+package from here is the canonical violation.
+"""
+
+from typing import TYPE_CHECKING
+
+from repro.qos.vector import QoSVector  # expect: AGR008
+
+import repro.core  # expect: AGR008
+
+if TYPE_CHECKING:  # fine: annotation-only imports are exempt
+    from repro.query.model import Query
+
+
+def touch(query: "Query"):
+    return QoSVector, repro.core, query

@@ -1,0 +1,19 @@
+# module: repro.core.fixture_clean
+"""Fixture: determinism-respecting code no rule should flag."""
+
+import math
+
+import numpy as np
+
+
+def behave(sim, streams, handlers):
+    rng = np.random.default_rng(42)
+    stream = streams.spawn("clean")
+    for name in sorted(handlers):
+        sim.schedule(1.0, name)
+    close_enough = math.isclose(sim.now, 10.0)
+    return rng, stream, close_enough
+
+
+def merge(items=None):
+    return list(items or [])

@@ -1,0 +1,12 @@
+# module: repro.core.fixture_suppressed
+"""Fixture: inline suppressions — one used, one unused."""
+
+import time
+
+
+def calibrate(sim):
+    # The suppression below is USED: it silences a real AGR001 hit.
+    wall = time.time()  # agora: ignore[AGR001] host-clock calibration harness
+    # The suppression below is UNUSED: nothing on the line violates AGR002.
+    virtual = sim.now  # agora: ignore[AGR002] nothing to silence
+    return wall, virtual

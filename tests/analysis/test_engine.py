@@ -1,0 +1,140 @@
+"""Engine mechanics: suppressions, module naming, reporters, and the CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisEngine,
+    check_import,
+    module_name_for,
+    parse_suppressions,
+    render_json,
+    render_text,
+)
+from repro.analysis.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestSuppressions:
+    def test_parse_rule_list_and_reason(self):
+        src = "x = 1  # agora: ignore[AGR001, AGR004] calibration only\n"
+        (supp,) = parse_suppressions(src, "f.py")
+        assert supp.line == 1
+        assert supp.rule_ids == ("AGR001", "AGR004")
+        assert supp.reason == "calibration only"
+
+    def test_non_matching_comments_ignored(self):
+        assert parse_suppressions("# agora: ignore[oops]\n# noqa\n", "f.py") == []
+
+    def test_used_suppression_moves_violation_to_suppressed(self):
+        report = AnalysisEngine().check_file(FIXTURES / "suppressed.py")
+        assert report.violations == []
+        assert [v.rule_id for v in report.suppressed] == ["AGR001"]
+
+    def test_unused_suppression_is_tracked(self):
+        report = AnalysisEngine().check_file(FIXTURES / "suppressed.py")
+        by_used = {s.rule_ids: s.used for s in report.suppressions}
+        assert by_used[("AGR001",)] is True
+        assert by_used[("AGR002",)] is False
+
+    def test_suppression_only_covers_its_own_rule(self):
+        src = (
+            "# module: repro.core.x\n"
+            "import time\n"
+            "t = time.time()  # agora: ignore[AGR002] wrong rule id\n"
+        )
+        report = AnalysisEngine().check_source(src, "f.py")
+        assert [v.rule_id for v in report.violations] == ["AGR001"]
+
+
+class TestModuleNaming:
+    def test_src_layout_paths_map_to_dotted_modules(self):
+        assert module_name_for("src/repro/sim/events.py") == "repro.sim.events"
+        assert module_name_for("src/repro/sim/__init__.py") == "repro.sim"
+
+    def test_paths_outside_the_package_have_no_module(self):
+        assert module_name_for("scripts/tool.py") is None
+
+    def test_module_override_comment_wins(self):
+        src = "# module: repro.resilience.probe\nx = 1\n"
+        report = AnalysisEngine().check_source(src, "anywhere.py")
+        assert report.module == "repro.resilience.probe"
+
+    def test_rules_stay_quiet_outside_repro(self):
+        report = AnalysisEngine().check_source(
+            "import time\nt = time.time()\n", "tool.py"
+        )
+        assert report.violations == []
+
+
+class TestLayerDag:
+    def test_sim_is_a_leaf(self):
+        allowed, _ = check_import("repro.sim.events", "repro.qos.vector")
+        assert not allowed
+
+    def test_declared_dependency_is_allowed(self):
+        allowed, _ = check_import("repro.qos.vector", "repro.sim.events")
+        assert allowed
+
+    def test_interface_module_exception(self):
+        allowed, _ = check_import("repro.sources.source", "repro.query.model")
+        assert allowed
+        allowed, _ = check_import("repro.sources.source", "repro.query.execution")
+        assert not allowed
+
+    def test_intra_package_imports_are_free(self):
+        allowed, _ = check_import("repro.sim.kernel", "repro.sim.events")
+        assert allowed
+
+
+class TestReporters:
+    def test_text_report_lines_are_clickable(self):
+        report = AnalysisEngine().check_paths([FIXTURES / "agr001_wallclock.py"])
+        text = render_text(report)
+        assert "agr001_wallclock.py:9:" in text
+        assert "AGR001" in text
+        assert "3 violations" in text
+
+    def test_json_report_round_trips(self):
+        report = AnalysisEngine().check_paths([FIXTURES / "agr005_defaults.py"])
+        payload = json.loads(render_json(report))
+        assert payload["summary"]["violations"] == 3
+        assert {v["rule"] for v in payload["violations"]} == {"AGR005"}
+        assert all(v["line"] > 0 for v in payload["violations"])
+
+    def test_syntax_errors_reported_not_raised(self):
+        report = AnalysisEngine().check_source("def broken(:\n", "bad.py")
+        assert report.parse_error is not None
+        assert not report.ok
+
+
+class TestCli:
+    def test_clean_path_exits_zero(self, capsys):
+        assert main([str(FIXTURES / "clean_module.py")]) == 0
+        assert "0 violations" in capsys.readouterr().out
+
+    def test_violations_exit_nonzero(self, capsys):
+        assert main([str(FIXTURES / "agr006_internals.py")]) == 1
+        assert "AGR006" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["--format", "json", str(FIXTURES / "clean_module.py")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["violations"] == 0
+
+    def test_rule_selection(self, capsys):
+        code = main(["--rules", "AGR001", str(FIXTURES / "agr006_internals.py")])
+        assert code == 0  # AGR006 findings invisible to an AGR001-only run
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--rules", "AGR999", str(FIXTURES)])
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("AGR001", "AGR008"):
+            assert rule_id in out

@@ -1,0 +1,75 @@
+"""Every AGR rule fires on its fixture, at the marked lines, and nowhere else.
+
+Each fixture under ``fixtures/`` declares where it pretends to live with a
+leading ``# module:`` comment and marks every expected violation with an
+inline ``# expect: AGRxxx`` comment.  The tests cross-check the engine's
+output against those markers — rule id AND line number must both match.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import AnalysisEngine, RULE_INDEX
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT = re.compile(r"#\s*expect:\s*(?P<rules>AGR\d{3}(?:\s*,\s*AGR\d{3})*)")
+
+VIOLATION_FIXTURES = sorted(FIXTURES.glob("agr*.py"))
+
+
+def expected_markers(path):
+    """(line, rule_id) pairs declared by ``# expect:`` comments."""
+    expected = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _EXPECT.search(line)
+        if match:
+            for rule_id in re.split(r"\s*,\s*", match.group("rules")):
+                expected.append((lineno, rule_id))
+    return sorted(expected)
+
+
+def test_fixture_inventory_covers_every_rule():
+    covered = {path.name.split("_")[0].upper() for path in VIOLATION_FIXTURES}
+    assert covered == set(RULE_INDEX), "each rule needs an agrNNN_*.py fixture"
+
+
+@pytest.mark.parametrize(
+    "fixture", VIOLATION_FIXTURES, ids=[p.stem for p in VIOLATION_FIXTURES]
+)
+def test_rule_fires_exactly_on_marked_lines(fixture):
+    expected = expected_markers(fixture)
+    assert expected, f"{fixture.name} declares no # expect: markers"
+    report = AnalysisEngine().check_file(fixture)
+    assert report.parse_error is None
+    actual = sorted((v.line, v.rule_id) for v in report.violations)
+    assert actual == expected
+
+
+@pytest.mark.parametrize(
+    "fixture", VIOLATION_FIXTURES, ids=[p.stem for p in VIOLATION_FIXTURES]
+)
+def test_fixture_exercises_its_own_rule(fixture):
+    own_rule = fixture.name.split("_")[0].upper()
+    report = AnalysisEngine().check_file(fixture)
+    assert own_rule in {v.rule_id for v in report.violations}
+
+
+def test_clean_fixture_is_clean():
+    report = AnalysisEngine().check_file(FIXTURES / "clean_module.py")
+    assert report.parse_error is None
+    assert report.violations == []
+    assert report.suppressed == []
+
+
+def test_violations_carry_rationale_metadata():
+    for rule in RULE_INDEX.values():
+        assert rule.rule_id and rule.title and rule.rationale
+
+
+def test_single_rule_selection_only_reports_that_rule():
+    engine = AnalysisEngine(rules=[RULE_INDEX["AGR001"]])
+    report = engine.check_paths([FIXTURES])
+    assert {v.rule_id for v in report.violations} == {"AGR001"}

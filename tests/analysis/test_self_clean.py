@@ -1,0 +1,32 @@
+"""The library must satisfy its own determinism contract.
+
+This is the acceptance gate the CI job enforces: ``src/repro`` lints
+clean under every AGR rule, and the sim kernel does it without a single
+inline suppression — the kernel IS the contract, it doesn't get to opt
+out of it.
+"""
+
+from pathlib import Path
+
+from repro.analysis import AnalysisEngine
+
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_src_tree_exists():
+    assert SRC.is_dir()
+
+
+def test_src_repro_has_zero_violations():
+    report = AnalysisEngine().check_paths([SRC])
+    assert report.parse_errors == []
+    rendered = "\n".join(v.render() for v in report.violations)
+    assert report.violations == [], f"src/repro must lint clean:\n{rendered}"
+
+
+def test_sim_kernel_has_zero_suppressions():
+    report = AnalysisEngine().check_paths([SRC / "sim"])
+    assert report.suppressions == [], (
+        "repro.sim and repro.sim.rng must satisfy the determinism contract "
+        "without inline suppressions"
+    )

@@ -1,7 +1,6 @@
 """Tests for shared workspaces and threads."""
 
 import numpy as np
-import pytest
 
 from repro.collaboration import ExplorationThread, SharedWorkspace, reset_thread_ids
 from repro.data import InformationItem

@@ -13,7 +13,7 @@ from repro.data import (
 )
 from repro.query import Query, QueryKind, RelevanceOracle
 from repro.sim import RngStreams
-from repro.sources import InformationSource, SourceQuality, SourceRegistry
+from repro.sources import InformationSource, SourceQuality
 from repro.uncertainty import build_matching_engine
 
 

@@ -1,6 +1,5 @@
 """Tests for the consumer agent (integration of the full ask() loop)."""
 
-import numpy as np
 import pytest
 
 from repro import Consumer, QoSRequirement, build_agora
@@ -127,7 +126,6 @@ class TestPersonalizationIntegration:
         for source_id in museum_sources:
             for __ in range(10):
                 friend_reputation.observe(source_id, 0.0)
-        import numpy as np
 
         friend = AffineNeighbour(
             "friend", 0.9,

@@ -5,7 +5,6 @@ import pytest
 
 from repro.data import (
     CompoundObject,
-    CorpusGenerator,
     DomainSpec,
     MediaObject,
     TextDocument,

@@ -59,7 +59,7 @@ class TestExtraction:
         rng = np.random.default_rng(0)
         obj = _media("m1", rng.normal(size=16))
         a = extractor.extract(obj, "shape")
-        b = extractor.extract(obj, "shape")
+        extractor.extract(obj, "shape")
         # The noise stream advances, so repeated calls differ; but two
         # extractors with the same seed agree on the first call.
         other = FeatureExtractor(16, RngStreams(7).spawn("feat"))

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments import (
-    Summary,
     mann_whitney_p,
     relative_improvement,
     summarize,

@@ -1,7 +1,5 @@
 """End-to-end integration tests across subsystems."""
 
-import numpy as np
-import pytest
 
 from repro import Consumer, QoSRequirement, UserProfile, build_agora
 from repro.query import AdaptiveExecutor, fallbacks_from_registry

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data import DomainSpec
-from repro.multimodal import Browser, BrowseGraph
+from repro.multimodal import BrowseGraph, Browser
 from repro.personalization import UserProfile
 
 

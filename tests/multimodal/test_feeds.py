@@ -1,6 +1,5 @@
 """Tests for standing queries and the feed service."""
 
-import numpy as np
 import pytest
 
 from repro.data import DomainSpec

@@ -106,7 +106,9 @@ class TestTimeToDiscovery:
             streams.spawn("ttd"), enabled_modes=["feed"],
         )
         session.run(steps=3)
-        is_topic0 = lambda item: item.latent[0] == 1.0
+        def is_topic0(item):
+            return item.latent[0] == 1.0
+
         assert session.steps_to_find(is_topic0, count=1) == 2
         assert session.steps_to_find(is_topic0, count=2) == 3
         assert session.steps_to_find(is_topic0, count=5) is None

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net import Message, Network, NodeHealth, random_topology
-from repro.sim import RngStreams, Simulator
+from repro.sim import Simulator
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import pytest
 from repro.data import DomainSpec
 from repro.optimizer import CandidateEnumerator, discount_by_trust
 from repro.qos import QoSVector
-from repro.sources import SourceQuality, SourceRegistry
+from repro.sources import SourceRegistry
 from repro.trust import ReputationSystem
 
 from tests.conftest import make_source, make_topic_query

@@ -1,6 +1,5 @@
 """Tests for plan execution against live sources."""
 
-import numpy as np
 import pytest
 
 from repro.data import DomainSpec
@@ -10,7 +9,7 @@ from repro.query import (
     Retrieve,
     standard_plan,
 )
-from repro.sources import SourceQuality, SourceRegistry
+from repro.sources import SourceRegistry
 from repro.uncertainty import BinnedCalibrator
 
 from tests.conftest import make_source, make_topic_query

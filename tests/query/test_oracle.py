@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.data import DomainSpec, InformationItem
+from repro.data import InformationItem
 from repro.query import Query, QueryKind
 
 from tests.conftest import make_topic_query

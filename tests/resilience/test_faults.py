@@ -4,7 +4,7 @@ import pytest
 
 from repro.net import LoadModel, LoadSpec, NodeHealth
 from repro.resilience import FaultEvent, FaultInjector, FaultScript
-from repro.sim import RngStreams, Simulator
+from repro.sim import Simulator
 
 
 @pytest.fixture

@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.data import DomainSpec
 from repro.net import LoadModel, LoadSpec, NodeHealth
-from repro.sources import InformationSource, SourceQuality
 from repro.sim import Simulator
+from repro.sources import InformationSource, SourceQuality
 
 from tests.conftest import make_source, make_topic_query
 

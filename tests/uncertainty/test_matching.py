@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro.data import (
-    CompoundObject,
     DomainSpec,
     FeatureExtractor,
-    combined_latent,
 )
 from repro.uncertainty import ConceptLifter, build_matching_engine
 from repro.uncertainty.matching import MediaMatcher, TextMatcher
@@ -109,7 +107,7 @@ class TestConceptLifter:
     def test_lift_media_recovers_topic(self, vocabulary, extractor, corpus_generator, topic_space):
         sample = corpus_generator.generate(_media_domain("train"), 100)
         lifter = ConceptLifter(vocabulary, extractor).fit(sample)
-        test_items = corpus_generator.generate(_media_domain("test", "dance-forms"), 1)
+        corpus_generator.generate(_media_domain("test", "dance-forms"), 1)
         # Training was jewelry; test a differently-themed item set to check the
         # lift tracks latents rather than memorising: use items from training topic.
         probe = corpus_generator.generate(_media_domain("probe", "folk-jewelry"), 10)

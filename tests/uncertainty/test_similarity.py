@@ -93,8 +93,12 @@ class TestBagCosine:
 
 class TestEnsemble:
     def test_weighted_average(self):
-        always_one = lambda q, c: 1.0
-        always_zero = lambda q, c: 0.0
+        def always_one(q, c):
+            return 1.0
+
+        def always_zero(q, c):
+            return 0.0
+
         ensemble = EnsembleSimilarity([always_one, always_zero], weights=[3.0, 1.0])
         assert ensemble(None, None) == pytest.approx(0.75)
 

@@ -6,7 +6,6 @@ import pytest
 from repro.data import InformationItem
 from repro.personalization import UserProfile
 from repro.workloads import ClickModel, UserPopulationGenerator
-from repro.workloads.users import UserPopulationGenerator as UPG
 
 
 @pytest.fixture
