@@ -1,8 +1,9 @@
 """The declared layer DAG of ``repro`` packages.
 
 Each top-level package lists the packages it may import at runtime.  The
-graph is acyclic: the sim kernel sits at the bottom and must import
-nothing from the library (a kernel that imports domain code can never be
+graph is acyclic: the observability substrate (``repro.obs``) sits at
+the very bottom and imports nothing, the sim kernel directly above it
+may import only ``obs`` (a kernel that imports domain code can never be
 reasoned about in isolation, and an accidental ``repro.sim`` →
 ``repro.core`` edge is how determinism bugs smuggle themselves into the
 clock).  ``repro.core`` is the composition root at the top;
@@ -24,18 +25,22 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 #: package -> packages it may import at runtime (besides itself/stdlib).
 LAYER_DEPS: Dict[str, FrozenSet[str]] = {
-    "sim": frozenset(),
+    # The observability substrate is the true bottom: even the sim kernel
+    # records into it (span propagation, registry-backed traces), so it
+    # must import nothing from the library at all.
+    "obs": frozenset(),
+    "sim": frozenset({"obs"}),
     "analysis": frozenset(),
     "trust": frozenset(),
-    "experiments": frozenset(),
+    "experiments": frozenset({"obs"}),
     "data": frozenset({"sim"}),
-    "net": frozenset({"sim"}),
-    "qos": frozenset({"sim"}),
+    "net": frozenset({"obs", "sim"}),
+    "qos": frozenset({"obs", "sim"}),
     "uncertainty": frozenset({"data", "sim"}),
-    "resilience": frozenset({"net", "qos", "sim"}),
+    "resilience": frozenset({"net", "obs", "qos", "sim"}),
     "sources": frozenset({"data", "net", "qos", "sim", "trust", "uncertainty"}),
     "query": frozenset(
-        {"data", "qos", "resilience", "sim", "sources", "uncertainty"}
+        {"data", "obs", "qos", "resilience", "sim", "sources", "uncertainty"}
     ),
     "negotiation": frozenset({"qos", "sim"}),
     "personalization": frozenset({"data", "negotiation", "qos", "uncertainty"}),
@@ -57,6 +62,7 @@ LAYER_DEPS: Dict[str, FrozenSet[str]] = {
             "multimodal",
             "negotiation",
             "net",
+            "obs",
             "optimizer",
             "personalization",
             "qos",
@@ -74,6 +80,7 @@ LAYER_DEPS: Dict[str, FrozenSet[str]] = {
             "core",
             "data",
             "multimodal",
+            "obs",
             "personalization",
             "qos",
             "query",

@@ -30,6 +30,8 @@ from repro.net.topology import (
     small_world_topology,
     star_topology,
 )
+from repro.obs.manifest import RunManifest, config_digest
+from repro.obs.spans import SpanTracer
 from repro.qos.monitor import ContractMonitor
 from repro.query.oracle import RelevanceOracle
 from repro.resilience.breaker import BreakerBoard
@@ -54,7 +56,10 @@ class Agora:
 
     def __init__(self, config: AgoraConfig):
         self.config = config
-        self.sim = Simulator(seed=config.seed)
+        self.tracer: Optional[SpanTracer] = (
+            SpanTracer() if config.enable_tracing else None
+        )
+        self.sim = Simulator(seed=config.seed, tracer=self.tracer)
         streams = self.sim.rng.spawn("agora")
         self._streams = streams
 
@@ -94,7 +99,7 @@ class Agora:
 
         # --- market infrastructure ------------------------------------
         self.registry = SourceRegistry()
-        self.monitor = ContractMonitor()
+        self.monitor = ContractMonitor(metrics=self.sim.metrics)
         self.reputation = ReputationSystem()
         self.monitor.on_compliance(self.reputation.observe)
 
@@ -268,6 +273,22 @@ class Agora:
     def inject_faults(self, script: FaultScript) -> int:
         """Install a fault script on the simulator (returns #windows)."""
         return self.faults.install(script)
+
+    def run_manifest(self, **labels: str) -> RunManifest:
+        """Canonical provenance record of this agora's run so far.
+
+        Two agoras built from equal configs and driven identically
+        produce equal manifests (labels aside) — ``python -m repro.obs
+        diff`` attests it.
+        """
+        return RunManifest(
+            seed=self.config.seed,
+            config_digest=config_digest(self.config),
+            event_count=self.sim.processed,
+            span_count=self.tracer.span_count if self.tracer is not None else 0,
+            metrics=self.sim.metrics.snapshot(),
+            labels=dict(labels),
+        )
 
     def consumer_node(self) -> str:
         """The overlay node consumers attach to (last node by convention)."""

@@ -37,6 +37,10 @@ class AgoraConfig:
     planner: str = "trading"
     relevance_threshold: float = 0.75
     start_update_streams: bool = False
+    #: attach a causal span tracer to the kernel and record per-query
+    #: span trees (off by default: tracing costs a few percent and most
+    #: runs only need the metrics registry, which is always on)
+    enable_tracing: bool = False
     #: default consumer-side resilience policies (off unless enabled);
     #: individual consumers may override with their own config
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)

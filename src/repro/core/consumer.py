@@ -24,6 +24,7 @@ import numpy as np
 from repro.context.conditional import ConditionalProfile
 from repro.context.model import Context
 from repro.core.agora import Agora
+from repro.obs.spans import NULL_TRACER
 from repro.optimizer.candidates import CandidateEnumerator
 from repro.optimizer.search import (
     ExhaustiveSearch,
@@ -159,27 +160,49 @@ class Consumer:
         personalize: bool = True,
     ) -> ConsumerResult:
         """Run the full shopping loop for one query."""
+        tracer = self.agora.tracer if self.agora.tracer is not None else NULL_TRACER
         profile = self.active_profile(context)
         query = self._complete_query(query, profile)
-        plan, contracts, unserved = self._plan(query, profile)
-        if plan is None:
-            empty = ConsumerResult(
-                query=query, ranked_items=[], results=UncertainResultSet(),
-                delivered=QoSVector(response_time=0.0, completeness=0.0,
-                                    freshness=0.0, correctness=0.0, trust=0.0),
-                unserved_jobs=unserved,
+        with tracer.span(
+            "query", query_id=query.query_id, user=self.user_id
+        ) as root:
+            with tracer.span("plan", planner=self.planner) as plan_span:
+                plan, contracts, unserved = self._plan(query, profile)
+                plan_span.annotate(
+                    contracts=len(contracts), unserved=len(unserved)
+                )
+            if plan is None:
+                root.annotate(outcome="unserved")
+                empty = ConsumerResult(
+                    query=query, ranked_items=[], results=UncertainResultSet(),
+                    delivered=QoSVector(response_time=0.0, completeness=0.0,
+                                        freshness=0.0, correctness=0.0, trust=0.0),
+                    unserved_jobs=unserved,
+                )
+                self.history.append(empty)
+                return empty
+            execution = self._execute(plan, query)
+            with tracer.span("settle", contracts=len(contracts)) as settle_span:
+                settlements = self._settle(contracts, execution)
+                settle_span.annotate(
+                    breached=sum(1 for s in settlements if s.breached)
+                )
+            with tracer.span("rank") as rank_span:
+                ranked = self._rank(
+                    execution.results, profile, social_ranker, personalize
+                )
+                rank_span.annotate(items=len(ranked))
+            total_price = sum(contract.total_price for contract in contracts)
+            utility = max(
+                0.0,
+                scalarize(execution.delivered, profile.qos_weights)
+                - profile.price_sensitivity * total_price,
             )
-            self.history.append(empty)
-            return empty
-        execution = self._execute(plan, query)
-        settlements = self._settle(contracts, execution)
-        ranked = self._rank(execution.results, profile, social_ranker, personalize)
-        total_price = sum(contract.total_price for contract in contracts)
-        utility = max(
-            0.0,
-            scalarize(execution.delivered, profile.qos_weights)
-            - profile.price_sensitivity * total_price,
-        )
+            root.annotate(
+                outcome="served",
+                utility=utility,
+                response_time=execution.response_time,
+            )
         result = ConsumerResult(
             query=query,
             ranked_items=ranked,
@@ -292,6 +315,7 @@ class Consumer:
             latency=lambda source_id: agora.latency_to_source(self.node_id, source_id),
             trust=self.trust_in,
             resilience=self.resilience,
+            tracer=agora.tracer,
         )
         return QueryExecutor(context).execute(plan, query)
 

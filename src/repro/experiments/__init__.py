@@ -15,15 +15,22 @@ from repro.experiments.metrics import (
     summarize,
     win_rate,
 )
-from repro.experiments.runner import ExperimentResult, ExperimentSuite
+from repro.experiments.runner import (
+    ExperimentResult,
+    ExperimentSuite,
+    append_run_dashboard,
+    render_run_dashboard,
+)
 from repro.experiments.tables import render_table
 
 __all__ = [
     "ExperimentResult",
     "ExperimentSuite",
     "Summary",
+    "append_run_dashboard",
     "mann_whitney_p",
     "relative_improvement",
+    "render_run_dashboard",
     "render_table",
     "summarize",
     "win_rate",

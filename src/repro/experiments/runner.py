@@ -2,16 +2,18 @@
 
 Each benchmark builds an :class:`ExperimentResult`, adds rows, and prints
 the table the experiment index in DESIGN.md promises.  Results can also be
-appended to a report file (EXPERIMENTS.md workflow).
+appended to a report file (EXPERIMENTS.md workflow), optionally followed
+by the run's observability dashboard (:func:`append_run_dashboard`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List
+from typing import Any, Dict, List, Union
 
 from repro.experiments.tables import render_table
+from repro.obs.dashboard import append_dashboard, render_dashboard
 
 
 @dataclass
@@ -81,6 +83,34 @@ class ExperimentResult:
     def write_csv(self, path: Path) -> None:
         """Write the CSV rendering to ``path``."""
         Path(path).write_text(self.to_csv())
+
+
+def render_run_dashboard(run: Any, title: str = "Run dashboard") -> str:
+    """Render the observability dashboard of a finished run.
+
+    ``run`` is anything with the :class:`repro.core.agora.Agora` surface
+    (``sim.metrics``, optional ``tracer``, ``run_manifest()``) — taken by
+    duck type so the experiment harness stays below the composition root
+    in the layer DAG.
+    """
+    tracer = getattr(run, "tracer", None)
+    spans = tracer.spans() if tracer is not None else None
+    manifest = run.run_manifest() if hasattr(run, "run_manifest") else None
+    return render_dashboard(
+        run.sim.metrics, spans=spans, manifest=manifest, title=title
+    )
+
+
+def append_run_dashboard(
+    path: Union[str, Path], run: Any, title: str = "Run dashboard"
+) -> None:
+    """Append a run's observability dashboard to a markdown report file."""
+    tracer = getattr(run, "tracer", None)
+    spans = tracer.spans() if tracer is not None else None
+    manifest = run.run_manifest() if hasattr(run, "run_manifest") else None
+    append_dashboard(
+        path, run.sim.metrics, spans=spans, manifest=manifest, title=title
+    )
 
 
 class ExperimentSuite:

@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional
 from repro.net.failures import NodeHealth
 from repro.net.messages import Message
 from repro.net.topology import Topology
+from repro.obs.spans import NULL_TRACER
 from repro.sim.kernel import Simulator
 from repro.sim.rng import ScopedStreams
 
@@ -110,6 +111,7 @@ class Network:
         preserving the observable effect: no reply.)
         """
         message.sent_at = self.sim.now
+        tracer = self.sim.tracer or NULL_TRACER
         self.sim.trace.count("net.messages_sent")
         self.sim.trace.count("net.bytes_sent", message.size)
         path = (
@@ -120,6 +122,9 @@ class Network:
         down = [node for node in path if not self._node_up(node)]
         if down:
             self.sim.trace.count("net.messages_dropped")
+            tracer.event(
+                "net.drop", kind=message.kind, node=down[0], at="send"
+            )
             if self.on_drop is not None:
                 self.on_drop(message, down[0])
             return False
@@ -127,20 +132,34 @@ class Network:
         self.sim.trace.count("net.hops", max(0, len(path) - 1))
 
         def deliver() -> None:
-            handler = self._handlers.get(message.recipient)
-            if handler is None:
-                self.sim.trace.count("net.messages_unhandled")
-                return
-            if not self._node_up(message.recipient):
-                self.sim.trace.count("net.messages_dropped")
-                if self.on_drop is not None:
-                    self.on_drop(message, message.recipient)
-                return
-            self.sim.trace.count("net.messages_delivered")
-            self.sim.trace.observe("net.delivery_delay", self.sim.now - message.sent_at)
-            handler(message)
+            with tracer.span(
+                "net.deliver", kind=message.kind, recipient=message.recipient
+            ) as span:
+                handler = self._handlers.get(message.recipient)
+                if handler is None:
+                    self.sim.trace.count("net.messages_unhandled")
+                    span.annotate(outcome="unhandled")
+                    return
+                if not self._node_up(message.recipient):
+                    self.sim.trace.count("net.messages_dropped")
+                    span.annotate(outcome="dropped")
+                    if self.on_drop is not None:
+                        self.on_drop(message, message.recipient)
+                    return
+                self.sim.trace.count("net.messages_delivered")
+                self.sim.trace.observe(
+                    "net.delivery_delay", self.sim.now - message.sent_at
+                )
+                handler(message)
 
-        self.sim.schedule(delay, deliver, tag=f"deliver:{message.kind}")
+        with tracer.span(
+            "net.send", kind=message.kind, sender=message.sender,
+            recipient=message.recipient, hops=max(0, len(path) - 1),
+        ):
+            # Scheduling inside the span makes the eventual delivery a
+            # child of the send, which is itself a child of whatever
+            # triggered it (gossip round, feed push, ...).
+            self.sim.schedule(delay, deliver, tag=f"deliver:{message.kind}")
         return True
 
     def broadcast(self, sender: str, kind: str, payload=None, size: float = 1.0) -> int:

@@ -1,0 +1,85 @@
+"""Observability substrate: causal spans, metrics, manifests, exporters.
+
+``repro.obs`` sits at the very bottom of the layer DAG (below even the
+simulation kernel) so every layer — kernel, network, QoS, resilience,
+executor, experiments — can record into one shared vocabulary:
+
+- :class:`SpanTracer` / :class:`Span` — causal span trees over the
+  virtual clock, propagated through the kernel's event queue.
+- :class:`MetricsRegistry` — counters, gauges and fixed-bucket
+  histograms with deterministic snapshots.
+- :class:`RunManifest` / :func:`diff_manifests` — canonical run
+  provenance; two runs are attested identical iff their diff is clean.
+- JSONL exporters, a markdown dashboard renderer, and the
+  ``python -m repro.obs`` CLI (``summary`` / ``spans`` / ``diff``).
+"""
+
+from repro.obs.dashboard import append_dashboard, render_dashboard, span_cost_rows
+from repro.obs.export import (
+    export_run,
+    load_manifest,
+    load_metrics_jsonl,
+    load_spans_jsonl,
+    write_manifest,
+    write_metrics_jsonl,
+    write_spans_jsonl,
+)
+from repro.obs.manifest import (
+    Drift,
+    ManifestDiff,
+    RunManifest,
+    canonical_json,
+    config_digest,
+    diff_manifests,
+    flatten_manifest,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import (
+    NULL_SPAN,
+    NULL_TRACER,
+    Span,
+    SpanTracer,
+    ancestors,
+    child_map,
+    descendants_of,
+    span_index,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "Counter",
+    "Drift",
+    "Gauge",
+    "Histogram",
+    "ManifestDiff",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "SpanTracer",
+    "ancestors",
+    "append_dashboard",
+    "canonical_json",
+    "child_map",
+    "config_digest",
+    "descendants_of",
+    "diff_manifests",
+    "export_run",
+    "flatten_manifest",
+    "load_manifest",
+    "load_metrics_jsonl",
+    "load_spans_jsonl",
+    "render_dashboard",
+    "span_cost_rows",
+    "span_index",
+    "write_manifest",
+    "write_metrics_jsonl",
+    "write_spans_jsonl",
+]

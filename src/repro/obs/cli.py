@@ -1,0 +1,128 @@
+"""``python -m repro.obs`` — inspect and compare exported run artifacts.
+
+Subcommands
+-----------
+``summary <manifest.json>``
+    Print a run's provenance header and its metric snapshot.
+``spans <spans.jsonl>``
+    Render the exported span forest as an indented causal tree.
+``diff <left-manifest.json> <right-manifest.json>``
+    Compare two run manifests; exit 0 on zero drift, 1 when any field or
+    metric drifted (the machine-checkable regression gate).
+
+The CLI works on *files only* — recording happens wherever a run happens
+(see ``examples/observability_demo.py``), keeping ``repro.obs`` at the
+bottom of the layer DAG.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.export import load_manifest, load_spans_jsonl
+from repro.obs.manifest import RunManifest, diff_manifests
+from repro.obs.spans import Span, child_map
+
+
+def _render_attributes(span: Span) -> str:
+    if not span.attributes:
+        return ""
+    parts = [f"{key}={span.attributes[key]!r}" for key in sorted(span.attributes)]
+    return " {" + ", ".join(parts) + "}"
+
+
+def render_span_tree(spans: Sequence[Span], limit: Optional[int] = None) -> str:
+    """Indented text rendering of the span forest (depth-first, id order)."""
+    children = child_map(spans)
+    lines: List[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        if limit is not None and len(lines) >= limit:
+            return
+        marker = "!" if span.status != "ok" else ""
+        end = f"{span.end:.4f}" if span.end is not None else "…"
+        lines.append(
+            f"{'  ' * depth}#{span.span_id} {span.name}{marker} "
+            f"[{span.start:.4f}→{end}]{_render_attributes(span)}"
+        )
+        for child in children.get(span.span_id, []):
+            visit(child, depth + 1)
+
+    for root in children.get(None, []):
+        visit(root, 0)
+    total = len(spans)
+    if limit is not None and total > len(lines):
+        lines.append(f"… ({total - len(lines)} more spans)")
+    return "\n".join(lines)
+
+
+def _render_summary(manifest: RunManifest, top: int) -> str:
+    lines = [
+        f"seed:           {manifest.seed}",
+        f"config digest:  {manifest.config_digest}",
+        f"manifest digest: {manifest.digest()}",
+        f"events:         {manifest.event_count}",
+        f"spans:          {manifest.span_count}",
+    ]
+    metrics: Dict[str, Any] = manifest.metrics
+    counters: Dict[str, float] = dict(metrics.get("counters", {}))
+    if counters:
+        lines.append(f"counters ({len(counters)} total, top {top} by value):")
+        ranked = sorted(counters.items(), key=lambda pair: (-pair[1], pair[0]))
+        for name, value in ranked[:top]:
+            lines.append(f"  {name} = {value:g}")
+    histograms: Dict[str, Any] = dict(metrics.get("histograms", {}))
+    if histograms:
+        lines.append(f"distributions ({len(histograms)}):")
+        for name in sorted(histograms)[:top]:
+            summary = histograms[name]
+            lines.append(
+                f"  {name}: n={summary.get('count', 0):g} "
+                f"mean={summary.get('mean', 0.0):.4f} "
+                f"p99={summary.get('p99', 0.0):.4f}"
+            )
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and compare exported observability artifacts.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    summary = subparsers.add_parser("summary", help="summarise one run manifest")
+    summary.add_argument("manifest", help="path to manifest.json")
+    summary.add_argument(
+        "--top", type=int, default=10, help="how many metrics to show (default 10)"
+    )
+
+    spans = subparsers.add_parser("spans", help="render an exported span tree")
+    spans.add_argument("spans", help="path to spans.jsonl")
+    spans.add_argument(
+        "--limit", type=int, default=None, help="cap the number of printed spans"
+    )
+
+    diff = subparsers.add_parser(
+        "diff", help="compare two run manifests (exit 1 on drift)"
+    )
+    diff.add_argument("left", help="path to the first manifest.json")
+    diff.add_argument("right", help="path to the second manifest.json")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "summary":
+        print(_render_summary(load_manifest(args.manifest), top=args.top))
+        return 0
+    if args.command == "spans":
+        print(render_span_tree(load_spans_jsonl(args.spans), limit=args.limit))
+        return 0
+    if args.command == "diff":
+        report = diff_manifests(load_manifest(args.left), load_manifest(args.right))
+        print(report.render())
+        return 0 if report.clean else 1
+    raise AssertionError(f"unhandled command {args.command!r}")

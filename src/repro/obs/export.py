@@ -1,0 +1,109 @@
+"""JSONL exporters for spans and metrics, plus run-directory helpers.
+
+Everything is written in deterministic order (spans by id, metrics by
+name) with canonical JSON per line, so exported artifacts from two
+same-seed runs are byte-identical and can be diffed with standard tools.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.manifest import RunManifest, canonical_json
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Span, SpanTracer
+
+PathLike = Union[str, Path]
+
+#: Conventional artifact filenames inside a run directory.
+SPANS_FILE = "spans.jsonl"
+METRICS_FILE = "metrics.jsonl"
+MANIFEST_FILE = "manifest.json"
+
+
+def write_spans_jsonl(spans: Sequence[Span], path: PathLike) -> int:
+    """Write one span per line, ordered by span id; returns #lines."""
+    ordered = sorted(spans, key=lambda span: span.span_id)
+    lines = [canonical_json(span.to_dict()) for span in ordered]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def load_spans_jsonl(path: PathLike) -> List[Span]:
+    """Read a spans JSONL file back into :class:`Span` objects."""
+    import json
+
+    spans: List[Span] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def write_metrics_jsonl(registry: MetricsRegistry, path: PathLike) -> int:
+    """Write one metric per line (kind, name, value/summary); returns #lines."""
+    lines: List[str] = []
+    for name, value in registry.counters().items():
+        lines.append(canonical_json({"kind": "counter", "name": name, "value": value}))
+    for name, value in registry.gauges().items():
+        lines.append(canonical_json({"kind": "gauge", "name": name, "value": value}))
+    for name, histogram in registry.histograms().items():
+        lines.append(
+            canonical_json(
+                {"kind": "histogram", "name": name, "summary": histogram.summary()}
+            )
+        )
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+    return len(lines)
+
+
+def load_metrics_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Read a metrics JSONL file back into plain dicts."""
+    import json
+
+    return [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+
+
+def write_manifest(manifest: RunManifest, path: PathLike) -> None:
+    """Write a manifest as canonical JSON."""
+    Path(path).write_text(manifest.to_json() + "\n")
+
+
+def load_manifest(path: PathLike) -> RunManifest:
+    """Read a manifest written by :func:`write_manifest`."""
+    return RunManifest.from_json(Path(path).read_text())
+
+
+def export_run(
+    directory: PathLike,
+    manifest: RunManifest,
+    registry: Optional[MetricsRegistry] = None,
+    tracer: Optional[SpanTracer] = None,
+) -> Dict[str, str]:
+    """Write a run's full artifact set into ``directory``.
+
+    Produces ``manifest.json`` always, plus ``metrics.jsonl`` /
+    ``spans.jsonl`` when a registry/tracer is given.  Returns a map of
+    artifact kind → written path (for logs and CI upload globs).
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, str] = {}
+    manifest_path = target / MANIFEST_FILE
+    write_manifest(manifest, manifest_path)
+    written["manifest"] = str(manifest_path)
+    if registry is not None:
+        metrics_path = target / METRICS_FILE
+        write_metrics_jsonl(registry, metrics_path)
+        written["metrics"] = str(metrics_path)
+    if tracer is not None:
+        spans_path = target / SPANS_FILE
+        write_spans_jsonl(tracer.spans(), spans_path)
+        written["spans"] = str(spans_path)
+    return written

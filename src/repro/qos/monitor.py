@@ -12,6 +12,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.metrics import MetricsRegistry
 from repro.qos.sla import SLAContract, SLAOutcome
 from repro.qos.vector import QoSVector
 
@@ -38,13 +39,17 @@ class ContractMonitor:
 
     Register compliance listeners (typically
     ``reputation_system.observe``) to propagate delivery quality into
-    trust scores.
+    trust scores.  With a metrics registry attached, every settlement
+    additionally lands in ``qos.*`` counters and the ``qos.compliance``
+    distribution, so breach rates show up on run dashboards and in
+    manifest diffs.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
         self._ledgers: Dict[str, ProviderLedger] = defaultdict(ProviderLedger)
         self._outcomes: List[SLAOutcome] = []
         self._listeners: List[ComplianceListener] = []
+        self._metrics = metrics
 
     def on_compliance(self, listener: ComplianceListener) -> None:
         """Register ``listener(provider_id, compliance in [0,1])``."""
@@ -71,6 +76,16 @@ class ContractMonitor:
             ledger.breaches += 1
         ledger.revenue += outcome.provider_revenue
         ledger.compensation_paid += max(0.0, outcome.compensation_paid)
+        if self._metrics is not None:
+            self._metrics.counter("qos.contracts_settled").inc()
+            if outcome.breached:
+                self._metrics.counter("qos.breaches").inc()
+            if outcome.delivered is None:
+                self._metrics.counter("qos.cancellations").inc()
+            self._metrics.counter(
+                "qos.compensation_paid"
+            ).inc(max(0.0, outcome.compensation_paid))
+            self._metrics.histogram("qos.compliance").observe(outcome.compliance)
         for listener in self._listeners:
             listener(outcome.contract.provider_id, outcome.compliance)
 

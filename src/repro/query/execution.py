@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.spans import NULL_TRACER, SpanTracer
 from repro.qos.vector import QoSVector
 from repro.query.algebra import Merge, PlanNode, Retrieve, Threshold, TopK
 from repro.query.model import Query, Subquery
@@ -62,6 +63,10 @@ class ExecutionContext:
     resilience:
         Optional :class:`ResilienceRuntime`; when present and enabled the
         executor retries, hedges and breaker-gates each leaf.
+    tracer:
+        Optional :class:`~repro.obs.spans.SpanTracer`; when attached the
+        executor records a causal span per execution, merge, retrieval
+        leaf, retry, failover and hedge.
     """
 
     registry: SourceRegistry
@@ -72,6 +77,7 @@ class ExecutionContext:
     latency: Optional[LatencyFn] = None
     trust: Optional[TrustFn] = None
     resilience: Optional[ResilienceRuntime] = None
+    tracer: Optional[SpanTracer] = None
 
     def latency_to(self, source_id: str) -> float:
         """Network latency to a source (0 without a latency model)."""
@@ -109,6 +115,7 @@ class QueryExecutor:
 
     def __init__(self, context: ExecutionContext):
         self.context = context
+        self._tracer = context.tracer if context.tracer is not None else NULL_TRACER
         self._events: Dict[str, float] = defaultdict(float)
         self._hedges: List[HedgeOutcome] = []
 
@@ -118,7 +125,15 @@ class QueryExecutor:
         answers: List[SourceAnswer] = []
         self._events = defaultdict(float)
         self._hedges = []
-        results, elapsed = self._run(plan, answers)
+        with self._tracer.span(
+            "execute", query_id=query.query_id, consumer=self.context.consumer_id
+        ) as span:
+            results, elapsed = self._run(plan, answers)
+            span.annotate(
+                response_time=elapsed,
+                answers=len(answers),
+                matches=len(results.items()),
+            )
         served = {a.source_id for a in answers if not a.declined}
         declined_set = {a.source_id for a in answers if a.declined}
         if self.context.resilience is not None and self.context.resilience.enabled:
@@ -170,16 +185,18 @@ class QueryExecutor:
         if isinstance(node, Retrieve):
             return self._run_retrieve(node, answers)
         if isinstance(node, Merge):
-            child_outputs = [self._run(child, answers) for child in node.children]
-            merged = UncertainResultSet()
-            for result_set, __ in child_outputs:
-                merged = merged.merge(result_set)
-            # A Merge can end up with zero children (e.g. a plan rewritten
-            # after every leaf was abandoned): the union over nothing is
-            # the empty set, delivered instantly.
-            elapsed = max(
-                (elapsed for __, elapsed in child_outputs), default=0.0
-            )
+            with self._tracer.span("merge", children=len(node.children)) as span:
+                child_outputs = [self._run(child, answers) for child in node.children]
+                merged = UncertainResultSet()
+                for result_set, __ in child_outputs:
+                    merged = merged.merge(result_set)
+                # A Merge can end up with zero children (e.g. a plan rewritten
+                # after every leaf was abandoned): the union over nothing is
+                # the empty set, delivered instantly.
+                elapsed = max(
+                    (elapsed for __, elapsed in child_outputs), default=0.0
+                )
+                span.annotate(elapsed=elapsed, matches=len(merged.items()))
             return merged, elapsed
         if isinstance(node, Threshold):
             results, elapsed = self._run(node.child, answers)
@@ -191,12 +208,19 @@ class QueryExecutor:
 
     def _run_retrieve(self, node: Retrieve, answers: List[SourceAnswer]):
         runtime = self.context.resilience
-        if runtime is not None and runtime.enabled:
-            return self._run_retrieve_resilient(node, answers, runtime)
-        answer, cost = self._ask(node.source_id, node.subquery, answers)
-        if answer.declined:
-            return UncertainResultSet(), 0.0
-        return self._result_set(answer, node.source_id), cost
+        with self._tracer.span(
+            "retrieve", source=node.source_id, job=node.job_id
+        ) as span:
+            if runtime is not None and runtime.enabled:
+                results, elapsed = self._run_retrieve_resilient(node, answers, runtime)
+                span.annotate(elapsed=elapsed, resilient=True)
+                return results, elapsed
+            answer, cost = self._ask(node.source_id, node.subquery, answers)
+            if answer.declined:
+                span.annotate(declined=True)
+                return UncertainResultSet(), 0.0
+            span.annotate(elapsed=cost)
+            return self._result_set(answer, node.source_id), cost
 
     # -- plain building blocks ------------------------------------------
     def _ask(
@@ -258,6 +282,7 @@ class QueryExecutor:
         result set (dedup by item id, so nothing is double-counted).
         """
         subquery = node.subquery
+        tracer = self._tracer
         tried: set = set()
         clock = 0.0
 
@@ -280,15 +305,21 @@ class QueryExecutor:
                 delay = runtime.backoff_delay(retries)
                 if not runtime.within_deadline(subquery, clock + delay):
                     self._count(runtime, "deadline_stops")
+                    tracer.event("deadline_stop", source=node.source_id)
                     break
                 clock += delay
                 retries += 1
                 self._count(runtime, "retries")
-                primary_answer, cost = attempt(node.source_id)
+                with tracer.span(
+                    "retry", source=node.source_id, attempt=retries, backoff=delay
+                ) as retry_span:
+                    primary_answer, cost = attempt(node.source_id)
+                    retry_span.annotate(declined=primary_answer.declined)
                 clock += cost
         else:
             tried.add(node.source_id)
             self._count(runtime, "breaker_short_circuits")
+            tracer.event("breaker_short_circuit", source=node.source_id)
 
         primary_ok = primary_answer is not None and not primary_answer.declined
         results = (
@@ -302,9 +333,14 @@ class QueryExecutor:
             for alternate in runtime.alternates(subquery, exclude=tried):
                 if not runtime.within_deadline(subquery, clock):
                     self._count(runtime, "deadline_stops")
+                    tracer.event("deadline_stop", source=node.source_id)
                     break
                 self._count(runtime, "failovers")
-                answer, cost = attempt(alternate)
+                with tracer.span(
+                    "failover", primary=node.source_id, alternate=alternate
+                ) as failover_span:
+                    answer, cost = attempt(alternate)
+                    failover_span.annotate(declined=answer.declined)
                 clock += cost
                 if not answer.declined:
                     self._count(runtime, "leaf_recoveries")
@@ -330,7 +366,11 @@ class QueryExecutor:
                     break
                 issued += 1
                 self._count(runtime, "hedges")
-                answer, cost = attempt(alternate)
+                with tracer.span(
+                    "hedge", primary=node.source_id, alternate=alternate
+                ) as hedge_span:
+                    answer, cost = attempt(alternate)
+                    hedge_span.annotate(declined=answer.declined)
                 if answer.declined:
                     continue
                 hedge_completion = hedge.threshold + cost

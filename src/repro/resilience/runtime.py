@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 from repro.resilience.breaker import BreakerBoard
 from repro.resilience.hedging import HedgeSelector
 from repro.resilience.policy import ResilienceConfig
@@ -34,6 +35,7 @@ class ResilienceRuntime:
         rng: Optional[np.random.Generator] = None,
         trace: Optional[TraceRecorder] = None,
         now_fn: Callable[[], float] = lambda: 0.0,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.config = config
         self.breakers = (
@@ -43,7 +45,15 @@ class ResilienceRuntime:
         )
         self.selector = HedgeSelector(registry, self.breakers)
         self._rng = rng if rng is not None else np.random.default_rng(0)
-        self._trace = trace
+        # Counters live in the metrics registry (the observability layer's
+        # single store); an explicitly passed registry wins, otherwise the
+        # trace recorder's backing registry is reused so `trace.counter()`
+        # reads keep seeing the same numbers.
+        self._metrics = (
+            metrics
+            if metrics is not None
+            else (trace.metrics if trace is not None else None)
+        )
         self._now = now_fn
 
     # ------------------------------------------------------------------
@@ -53,9 +63,9 @@ class ResilienceRuntime:
         return self.config.enabled
 
     def count(self, name: str, amount: float = 1.0) -> None:
-        """Bump a ``resilience.*`` counter on the trace (no-op untraced)."""
-        if self._trace is not None:
-            self._trace.count(f"resilience.{name}", amount)
+        """Bump a ``resilience.*`` counter in the registry (no-op unmetered)."""
+        if self._metrics is not None:
+            self._metrics.counter(f"resilience.{name}").inc(amount)
 
     # -- breaker facade -------------------------------------------------
     def allow(self, source_id: str) -> bool:

@@ -29,6 +29,11 @@ class Event:
         Zero-argument callable executed when the event fires.
     tag:
         Optional human-readable label used in traces.
+    span_id:
+        Causal context captured at scheduling time: the id of the span
+        that was active when the event was pushed (``None`` untraced).
+        The kernel resumes that span around the callback so span trees
+        survive the trip through the queue.
     """
 
     time: float
@@ -37,6 +42,7 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     tag: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    span_id: Optional[int] = field(default=None, compare=False)
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it when popped."""
@@ -56,6 +62,7 @@ class EventQueue:
         action: Callable[[], Any],
         priority: int = 0,
         tag: str = "",
+        span_id: Optional[int] = None,
     ) -> Event:
         """Schedule ``action`` at virtual ``time`` and return the event."""
         if time < 0:
@@ -66,6 +73,7 @@ class EventQueue:
             seq=next(self._counter),
             action=action,
             tag=tag,
+            span_id=span_id,
         )
         heapq.heappush(self._heap, event)
         return event

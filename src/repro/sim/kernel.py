@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RngStreams
 from repro.sim.trace import TraceRecorder
@@ -31,6 +33,14 @@ class Simulator:
         :class:`repro.sim.rng.RngStreams`).
     trace:
         Optional trace recorder; a fresh one is created when omitted.
+    tracer:
+        Optional causal span tracer.  When attached, the kernel binds it
+        to the virtual clock, captures the active span at every
+        ``schedule``/``at`` call, and resumes that span around the
+        callback's execution — so spans opened inside a callback parent
+        onto whatever caused the callback, not onto the event loop.
+        ``None`` (the default) keeps the hot loop branch-only: no
+        per-event tracing work happens at all.
 
     Example
     -------
@@ -42,13 +52,26 @@ class Simulator:
     [5.0]
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[TraceRecorder] = None):
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[TraceRecorder] = None,
+        tracer: Optional[SpanTracer] = None,
+    ):
         self.now: float = 0.0
         self.rng = RngStreams(seed)
         self.trace = trace if trace is not None else TraceRecorder()
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.bind_clock(lambda: self.now)
         self._queue = EventQueue()
         self._running = False
         self._processed = 0
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The metrics registry backing this simulator's trace recorder."""
+        return self.trace.metrics
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -63,7 +86,10 @@ class Simulator:
         """Schedule ``action`` to fire ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self._queue.push(self.now + delay, action, priority=priority, tag=tag)
+        span_id = self.tracer.current_id if self.tracer is not None else None
+        return self._queue.push(
+            self.now + delay, action, priority=priority, tag=tag, span_id=span_id
+        )
 
     def at(
         self,
@@ -77,7 +103,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self.now}"
             )
-        return self._queue.push(time, action, priority=priority, tag=tag)
+        span_id = self.tracer.current_id if self.tracer is not None else None
+        return self._queue.push(
+            time, action, priority=priority, tag=tag, span_id=span_id
+        )
 
     def process(self, generator: Generator[float, None, Any], tag: str = "") -> None:
         """Drive a generator-based process.
@@ -121,6 +150,7 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         processed = 0
+        tracer = self.tracer
         try:
             while True:
                 if max_events is not None and processed >= max_events:
@@ -133,7 +163,19 @@ class Simulator:
                 event = self._queue.pop()
                 assert event is not None
                 self.now = event.time
-                event.action()
+                if tracer is not None and event.span_id is not None:
+                    # Re-enter the causal context the event was scheduled
+                    # under so spans opened by the callback parent onto
+                    # their true cause across the queue boundary.
+                    tracer.resume(event.span_id)
+                    try:
+                        event.action()
+                    finally:
+                        tracer.release()
+                else:
+                    event.action()
+                if tracer is not None:
+                    self.trace.count("sim.events")
                 processed += 1
         finally:
             self._running = False

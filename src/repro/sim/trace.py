@@ -1,15 +1,27 @@
 """Trace recording: counters, timers and timestamped event logs.
 
-The :class:`TraceRecorder` is deliberately lightweight — experiments create
-one per run and read the aggregates afterwards.  Records are plain tuples
-so traces can be serialised or compared cheaply in tests.
+The :class:`TraceRecorder` is the lightweight facade components write
+through — experiments create one per run and read the aggregates
+afterwards.  Since the observability layer landed, the recorder is a
+*view* over a :class:`repro.obs.metrics.MetricsRegistry`: ``count()``
+lands in a registry counter and ``observe()`` in a registry histogram,
+so everything recorded here also shows up in metric snapshots, run
+manifests and dashboards.  Timestamped records stay local to the
+recorder (they are the free-form event log; spans are the structured
+one).
+
+Read-side purity: every read accessor (``counter``, ``timer``,
+``timers``, ``summary``) is non-mutating — looking up a name that was
+never written does not create an entry, so snapshots contain only
+metrics that were actually observed.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import Histogram, MetricsRegistry
 
 
 @dataclass
@@ -24,7 +36,12 @@ class TraceRecord:
 
 @dataclass
 class TimerStats:
-    """Aggregate statistics for a named timer."""
+    """Aggregate statistics for a named timer.
+
+    ``TraceRecorder.timer()`` returns these as immutable-by-convention
+    *snapshots* of the backing histogram; folding observations into a
+    snapshot does not write back to the recorder.
+    """
 
     count: int = 0
     total: float = 0.0
@@ -43,13 +60,38 @@ class TimerStats:
         """Mean of the observations (0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    @classmethod
+    def from_histogram(cls, histogram: Histogram) -> "TimerStats":
+        """Snapshot a registry histogram into the legacy timer shape."""
+        return cls(
+            count=histogram.count,
+            total=histogram.total,
+            minimum=histogram.minimum,
+            maximum=histogram.maximum,
+        )
+
 
 class TraceRecorder:
-    """Collects counters, timers and event records for one simulation run."""
+    """Collects counters, timers and event records for one simulation run.
 
-    def __init__(self, keep_records: bool = True, max_records: int = 100_000):
-        self._counters: Dict[str, float] = defaultdict(float)
-        self._timers: Dict[str, TimerStats] = defaultdict(TimerStats)
+    Parameters
+    ----------
+    keep_records:
+        Disable to skip the timestamped record log entirely.
+    max_records:
+        Cap on stored records; later records are dropped (and counted).
+    metrics:
+        Backing registry; a private one is created when omitted.  Pass a
+        shared registry to fold several recorders into one snapshot.
+    """
+
+    def __init__(
+        self,
+        keep_records: bool = True,
+        max_records: int = 100_000,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._records: List[TraceRecord] = []
         self._keep_records = keep_records
         self._max_records = max_records
@@ -58,28 +100,34 @@ class TraceRecorder:
     # -- counters -------------------------------------------------------
     def count(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counters[name] += amount
+        self.metrics.counter(name).inc(amount)
 
     def counter(self, name: str) -> float:
         """Return the current value of counter ``name`` (0 if untouched)."""
-        return self._counters.get(name, 0.0)
+        return self.metrics.counter_value(name)
 
     def counters(self) -> Dict[str, float]:
         """Return a snapshot of all counters."""
-        return dict(self._counters)
+        return self.metrics.counters()
 
     # -- timers ----------------------------------------------------------
     def observe(self, name: str, value: float) -> None:
         """Record an observation for timer/metric ``name``."""
-        self._timers[name].observe(value)
+        self.metrics.histogram(name).observe(value)
 
     def timer(self, name: str) -> TimerStats:
-        """Return aggregate stats for timer ``name``."""
-        return self._timers[name]
+        """Snapshot stats for timer ``name`` (reads never create entries)."""
+        histogram = self.metrics.histogram_or_none(name)
+        if histogram is None:
+            return TimerStats()
+        return TimerStats.from_histogram(histogram)
 
     def timers(self) -> Dict[str, TimerStats]:
-        """Snapshot of all timers."""
-        return dict(self._timers)
+        """Snapshot of all *observed* timers."""
+        return {
+            name: TimerStats.from_histogram(histogram)
+            for name, histogram in self.metrics.histograms().items()
+        }
 
     # -- records ----------------------------------------------------------
     def record(self, time: float, category: str, label: str, payload: Any = None) -> None:
@@ -103,12 +151,16 @@ class TraceRecorder:
         return self._dropped
 
     def summary(self) -> Dict[str, Any]:
-        """Return a compact dictionary summary (counters + timer means)."""
+        """Return a compact dictionary summary (counters + timer means).
+
+        Pure: summarising never creates entries, so only counters that
+        were incremented and timers that were observed appear.
+        """
         return {
             "counters": self.counters(),
             "timers": {
                 name: {"count": ts.count, "mean": ts.mean, "min": ts.minimum, "max": ts.maximum}
-                for name, ts in self._timers.items()
+                for name, ts in self.timers().items()
             },
             "records": len(self._records),
             "dropped": self._dropped,

@@ -1,0 +1,136 @@
+"""Tests for the JSONL exporters and the ``python -m repro.obs`` CLI."""
+
+from repro.obs import (
+    MetricsRegistry,
+    RunManifest,
+    SpanTracer,
+    export_run,
+    load_manifest,
+    load_metrics_jsonl,
+    load_spans_jsonl,
+    write_manifest,
+    write_metrics_jsonl,
+    write_spans_jsonl,
+)
+from repro.obs.cli import main, render_span_tree
+
+
+def make_tracer():
+    tracer = SpanTracer()
+    with tracer.span("query", user="iris") as root:
+        with tracer.span("retrieve", source="m1"):
+            pass
+        root.annotate(outcome="served")
+    return tracer
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.counter("sim.events").inc(4)
+    registry.histogram("query.latency").observe(0.25)
+    return registry
+
+
+def make_manifest(registry, tracer, seed=11):
+    return RunManifest(
+        seed=seed,
+        config_digest=f"cfg-{seed}",
+        event_count=4,
+        span_count=tracer.span_count,
+        metrics=registry.snapshot(),
+        labels={"scenario": "unit"},
+    )
+
+
+class TestExporters:
+    def test_span_round_trip(self, tmp_path):
+        tracer = make_tracer()
+        path = tmp_path / "spans.jsonl"
+        assert write_spans_jsonl(tracer.spans(), path) == 2
+        assert load_spans_jsonl(path) == tracer.spans()
+
+    def test_metrics_round_trip(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        assert write_metrics_jsonl(make_registry(), path) == 2
+        rows = load_metrics_jsonl(path)
+        assert rows[0] == {"kind": "counter", "name": "sim.events", "value": 4.0}
+        assert rows[1]["kind"] == "histogram"
+        assert rows[1]["summary"]["count"] == 1.0
+
+    def test_manifest_round_trip(self, tmp_path):
+        registry, tracer = make_registry(), make_tracer()
+        manifest = make_manifest(registry, tracer)
+        path = tmp_path / "manifest.json"
+        write_manifest(manifest, path)
+        assert load_manifest(path) == manifest
+
+    def test_export_run_writes_full_artifact_set(self, tmp_path):
+        registry, tracer = make_registry(), make_tracer()
+        written = export_run(
+            tmp_path / "run", make_manifest(registry, tracer),
+            registry=registry, tracer=tracer,
+        )
+        assert sorted(written) == ["manifest", "metrics", "spans"]
+        assert (tmp_path / "run" / "manifest.json").exists()
+        assert (tmp_path / "run" / "metrics.jsonl").exists()
+        assert (tmp_path / "run" / "spans.jsonl").exists()
+
+    def test_same_inputs_export_byte_identical(self, tmp_path):
+        for name in ("a", "b"):
+            registry, tracer = make_registry(), make_tracer()
+            export_run(tmp_path / name, make_manifest(registry, tracer),
+                       registry=registry, tracer=tracer)
+        for artifact in ("manifest.json", "metrics.jsonl", "spans.jsonl"):
+            left = (tmp_path / "a" / artifact).read_bytes()
+            right = (tmp_path / "b" / artifact).read_bytes()
+            assert left == right, artifact
+
+
+class TestSpanTreeRendering:
+    def test_tree_is_indented_and_annotated(self):
+        text = render_span_tree(make_tracer().spans())
+        lines = text.splitlines()
+        assert lines[0].startswith("#0 query")
+        assert "{'user'" not in lines[0]  # attrs render as key=value
+        assert "user='iris'" in lines[0]
+        assert lines[1].startswith("  #1 retrieve")
+
+    def test_limit_reports_remainder(self):
+        text = render_span_tree(make_tracer().spans(), limit=1)
+        assert text.splitlines()[-1] == "… (1 more spans)"
+
+
+class TestCli:
+    def _export(self, tmp_path, name, seed):
+        registry, tracer = make_registry(), make_tracer()
+        return export_run(
+            tmp_path / name, make_manifest(registry, tracer, seed=seed),
+            registry=registry, tracer=tracer,
+        )
+
+    def test_summary_prints_provenance(self, tmp_path, capsys):
+        written = self._export(tmp_path, "run", seed=11)
+        assert main(["summary", written["manifest"]]) == 0
+        out = capsys.readouterr().out
+        assert "seed:           11" in out
+        assert "sim.events = 4" in out
+        assert "query.latency" in out
+
+    def test_spans_renders_tree(self, tmp_path, capsys):
+        written = self._export(tmp_path, "run", seed=11)
+        assert main(["spans", written["spans"]]) == 0
+        assert "#0 query" in capsys.readouterr().out
+
+    def test_diff_clean_exits_zero(self, tmp_path, capsys):
+        left = self._export(tmp_path, "a", seed=11)
+        right = self._export(tmp_path, "b", seed=11)
+        assert main(["diff", left["manifest"], right["manifest"]]) == 0
+        assert "zero drift" in capsys.readouterr().out
+
+    def test_diff_drift_exits_one(self, tmp_path, capsys):
+        left = self._export(tmp_path, "a", seed=11)
+        right = self._export(tmp_path, "b", seed=12)
+        assert main(["diff", left["manifest"], right["manifest"]]) == 1
+        out = capsys.readouterr().out
+        assert "drifted field(s)" in out
+        assert "seed" in out

@@ -1,0 +1,119 @@
+"""Tests for the metrics registry."""
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestCountersAndGauges:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.counter("events").inc(2.5)
+        assert registry.counter_value("events") == 3.5
+
+    def test_gauge_set_and_add(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(4.0)
+        registry.gauge("depth").add(-1.0)
+        assert registry.gauge_value("depth") == 3.0
+
+    def test_name_cannot_change_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+
+class TestReadSidePurity:
+    def test_reading_unknown_metrics_creates_nothing(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("ghost") == 0.0
+        assert registry.gauge_value("ghost") == 0.0
+        assert registry.histogram_or_none("ghost") is None
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_snapshot_is_detached(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        snapshot = registry.snapshot()
+        snapshot["counters"]["x"] = 99.0
+        snapshot["counters"]["phantom"] = 1.0
+        assert registry.counter_value("x") == 1.0
+        assert registry.counter_value("phantom") == 0.0
+
+
+class TestHistogram:
+    def test_counts_sum_min_max(self):
+        histogram = Histogram("t", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.total == 14.0
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 9.0
+        assert histogram.bucket_counts() == (1, 1, 1, 1)  # last = overflow
+        assert histogram.mean == 3.5
+
+    def test_buckets_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=())
+
+    def test_quantiles_are_clamped_to_observed_range(self):
+        histogram = Histogram("t", buckets=DEFAULT_BUCKETS)
+        for value in (2.0, 2.0, 2.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) <= 2.0
+        assert histogram.quantile(0.5) == 2.0
+        assert histogram.quantile(1.0) == 2.0
+
+    def test_quantile_orders_sensibly(self):
+        histogram = Histogram("t")
+        for value in (0.01, 0.02, 0.2, 0.4, 3.0, 30.0):
+            histogram.observe(value)
+        p50, p90, p99 = (histogram.quantile(q) for q in (0.5, 0.9, 0.99))
+        assert histogram.minimum <= p50 <= p90 <= p99 <= histogram.maximum
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError):
+            Histogram("t").quantile(1.5)
+
+    def test_empty_histogram_summary(self):
+        summary = Histogram("t").summary()
+        assert summary["count"] == 0.0
+        assert summary["p99"] == 0.0
+
+    def test_summary_keys(self):
+        histogram = Histogram("t")
+        histogram.observe(1.0)
+        assert set(histogram.summary()) == {
+            "count", "mean", "min", "max", "p50", "p90", "p99",
+        }
+
+    def test_registry_honours_custom_buckets_once(self):
+        registry = MetricsRegistry()
+        first = registry.histogram("t", buckets=(1.0, 2.0))
+        again = registry.histogram("t", buckets=(5.0, 6.0, 7.0))
+        assert again is first
+        assert again.buckets == (1.0, 2.0)
+
+
+class TestDeterminism:
+    def test_snapshot_sorted_and_reproducible(self):
+        def build():
+            registry = MetricsRegistry()
+            for name in ("z", "a", "m"):
+                registry.counter(name).inc()
+            registry.histogram("lat").observe(0.3)
+            registry.gauge("g").set(7.0)
+            return registry.snapshot()
+
+        first, second = build(), build()
+        assert first == second
+        assert list(first["counters"]) == ["a", "m", "z"]

@@ -1,5 +1,6 @@
 """Tests for the trace recorder."""
 
+from repro.obs import MetricsRegistry
 from repro.sim import TraceRecorder
 
 
@@ -35,6 +36,23 @@ class TestTimers:
     def test_empty_timer_mean_is_zero(self):
         assert TraceRecorder().timer("empty").mean == 0.0
 
+    def test_timer_read_creates_no_entry(self):
+        # Regression: the defaultdict-backed recorder used to insert an
+        # empty TimerStats on every read, polluting summaries.
+        trace = TraceRecorder()
+        trace.timer("phantom")
+        assert trace.timers() == {}
+        assert "phantom" not in trace.summary()["timers"]
+        assert trace.metrics.histogram_or_none("phantom") is None
+
+    def test_timer_returns_detached_snapshot(self):
+        trace = TraceRecorder()
+        trace.observe("latency", 1.0)
+        snapshot = trace.timer("latency")
+        snapshot.observe(100.0)  # folding into the snapshot...
+        assert trace.timer("latency").count == 1  # ...never writes back
+        assert trace.timer("latency").maximum == 1.0
+
 
 class TestRecords:
     def test_record_and_filter(self):
@@ -65,3 +83,40 @@ class TestRecords:
         assert summary["counters"] == {"x": 1.0}
         assert summary["timers"]["t"]["count"] == 1
         assert summary["records"] == 1
+
+    def test_summary_reports_dropped_records(self):
+        trace = TraceRecorder(max_records=1)
+        trace.record(0.0, "c", "kept")
+        trace.record(1.0, "c", "dropped")
+        summary = trace.summary()
+        assert summary["records"] == 1
+        assert summary["dropped"] == 1
+        assert [r.label for r in trace.records()] == ["kept"]
+
+    def test_summary_is_pure(self):
+        # Building a summary must not fabricate counters or timers, and
+        # summarising twice must give identical results.
+        trace = TraceRecorder()
+        trace.count("real")
+        trace.counter("ghost-counter")  # reads...
+        trace.timer("ghost-timer")
+        first = trace.summary()
+        second = trace.summary()
+        assert first == second
+        assert set(first["counters"]) == {"real"}
+        assert first["timers"] == {}
+
+
+class TestRegistryBacking:
+    def test_counts_land_in_shared_registry(self):
+        registry = MetricsRegistry()
+        trace = TraceRecorder(metrics=registry)
+        trace.count("sim.events", 3.0)
+        trace.observe("lat", 0.5)
+        assert registry.counter_value("sim.events") == 3.0
+        assert registry.histogram_or_none("lat").count == 1
+
+    def test_private_registry_is_exposed(self):
+        trace = TraceRecorder()
+        trace.count("x")
+        assert trace.metrics.counter_value("x") == 1.0
