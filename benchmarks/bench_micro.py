@@ -21,6 +21,7 @@ from repro.optimizer import CandidateAssignment, CandidatePlan, evaluate_plan
 from repro.qos import QoSVector, QoSWeights
 from repro.query import Query, QueryKind
 from repro.sim import RngStreams, Simulator
+from repro.sources import InformationSource, SourceQuality
 from repro.trust import ReputationSystem
 from repro.uncertainty import (
     BinnedCalibrator,
@@ -59,6 +60,45 @@ def test_micro_matching_rank(benchmark, world):
     pool = items[1:101]
     ranked = benchmark(engine.rank, query_item, pool)
     assert len(ranked) == 100
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_matching_rank_pairwise(benchmark, world):
+    """Reference path: one Python ``score`` call per candidate."""
+    space, corpus, engine, items = world
+    query_item = items[0]
+    pool = items[1:101]
+    ranked = benchmark(engine.rank_pairwise, query_item, pool)
+    assert len(ranked) == 100
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_source_answer(benchmark, world):
+    """End-to-end source answer over a 100-item visible pool."""
+    space, corpus, engine, items = world
+    streams = RngStreams(SEED).spawn("micro-source")
+    source = InformationSource(
+        source_id="bench-src",
+        node_id="n0",
+        domains=["museum"],
+        quality=SourceQuality(coverage=1.0, freshness_lag=0.0, error_rate=0.0),
+        engine=engine,
+        streams=streams,
+    )
+    source.ingest(items[1:101], now=0.0, immediate=True)
+    rng = np.random.default_rng(SEED)
+    intent = space.basis("folk-jewelry", weight=0.9)
+    vocabulary = engine.cross.lifter.vocabulary
+    query = Query(
+        kind=QueryKind.TOPIC,
+        terms=vocabulary.sample_terms(intent, rng, length=60),
+        intent_latent=intent,
+        k=10,
+    )
+    subquery = query.restricted_to("museum")
+    answer = benchmark(source.answer, subquery, 0.0)
+    assert not answer.declined
+    assert answer.candidates_scanned == 100
 
 
 @pytest.mark.benchmark(group="micro")

@@ -36,9 +36,11 @@ LAYER_DEPS: Dict[str, FrozenSet[str]] = {
     "data": frozenset({"sim"}),
     "net": frozenset({"obs", "sim"}),
     "qos": frozenset({"obs", "sim"}),
-    "uncertainty": frozenset({"data", "sim"}),
+    "uncertainty": frozenset({"data", "obs", "sim"}),
     "resilience": frozenset({"net", "obs", "qos", "sim"}),
-    "sources": frozenset({"data", "net", "qos", "sim", "trust", "uncertainty"}),
+    "sources": frozenset(
+        {"data", "net", "obs", "qos", "sim", "trust", "uncertainty"}
+    ),
     "query": frozenset(
         {"data", "obs", "qos", "resilience", "sim", "sources", "uncertainty"}
     ),

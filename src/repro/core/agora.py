@@ -149,6 +149,7 @@ class Agora:
         return build_matching_engine(
             self.vocabulary, self.extractor,
             feature_set=self.config.feature_set, lifter_sample=sample,
+            metrics=self.sim.metrics,
         )
 
     def _build_topology(self) -> Topology:
@@ -193,6 +194,7 @@ class Agora:
                 streams=self._streams.spawn("sources"),
                 load=self.load,
                 health=self.health,
+                metrics=self.sim.metrics,
             )
             source.ingest(
                 self.corpus.generate(spec, config.items_per_source),

@@ -219,7 +219,7 @@ class QueryExecutor:
             if answer.declined:
                 span.annotate(declined=True)
                 return UncertainResultSet(), 0.0
-            span.annotate(elapsed=cost)
+            span.annotate(elapsed=cost, candidates=answer.candidates_scanned)
             return self._result_set(answer, node.source_id), cost
 
     # -- plain building blocks ------------------------------------------

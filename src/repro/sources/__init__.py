@@ -7,8 +7,10 @@ Public API:
 - :class:`SourceRegistry`, :class:`SourceDescriptor` — discovery via
   (possibly optimistic) advertisements.
 - :class:`UpdateStream` — Poisson item arrivals feeding a source.
+- :class:`CollectionIndex` — sorted, bucketed item index behind sources.
 """
 
+from repro.sources.index import CollectionIndex
 from repro.sources.personal import PERSONAL_DOMAIN, PersonalInformationBase
 from repro.sources.registry import SourceDescriptor, SourceRegistry
 from repro.sources.source import (
@@ -20,6 +22,7 @@ from repro.sources.source import (
 from repro.sources.streams import UpdateStream
 
 __all__ = [
+    "CollectionIndex",
     "InformationSource",
     "PERSONAL_DOMAIN",
     "PersonalInformationBase",

@@ -9,7 +9,7 @@ resources" uncertainty.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.qos.vector import QoSVector
 from repro.sources.source import InformationSource
@@ -42,6 +42,9 @@ class SourceRegistry:
     def __init__(self) -> None:
         self._descriptors: Dict[str, SourceDescriptor] = {}
         self._sources: Dict[str, InformationSource] = {}
+        # Inverted index: domain -> ids of sources advertising it, so
+        # per-domain candidate lookup avoids scanning every descriptor.
+        self._by_domain: Dict[str, Set[str]] = {}
 
     # ------------------------------------------------------------------
     def register(self, source: InformationSource, now: float = 0.0) -> SourceDescriptor:
@@ -57,9 +60,22 @@ class SourceRegistry:
             advertised_at=now,
             trust_class=source.quality.trust_class,
         )
+        previous = self._descriptors.get(source.source_id)
+        if previous is not None:
+            self._unindex(previous)
         self._descriptors[source.source_id] = descriptor
         self._sources[source.source_id] = source
+        for domain in descriptor.domains:
+            self._by_domain.setdefault(domain, set()).add(descriptor.source_id)
         return descriptor
+
+    def _unindex(self, descriptor: SourceDescriptor) -> None:
+        for domain in descriptor.domains:
+            ids = self._by_domain.get(domain)
+            if ids is not None:
+                ids.discard(descriptor.source_id)
+                if not ids:
+                    del self._by_domain[domain]
 
     def refresh(self, source_id: str, now: float) -> SourceDescriptor:
         """Re-advertise one source (updates the stored snapshot)."""
@@ -68,7 +84,9 @@ class SourceRegistry:
 
     def deregister(self, source_id: str) -> None:
         """Remove a source and its descriptor (idempotent)."""
-        self._descriptors.pop(source_id, None)
+        descriptor = self._descriptors.pop(source_id, None)
+        if descriptor is not None:
+            self._unindex(descriptor)
         self._sources.pop(source_id, None)
 
     # ------------------------------------------------------------------
@@ -88,10 +106,8 @@ class SourceRegistry:
 
     def candidates_for(self, domain: str) -> List[SourceDescriptor]:
         """Descriptors of sources advertising coverage of ``domain``."""
-        return sorted(
-            (d for d in self._descriptors.values() if d.covers(domain)),
-            key=lambda d: d.source_id,
-        )
+        ids = self._by_domain.get(domain, set())
+        return [self._descriptors[source_id] for source_id in sorted(ids)]
 
     def all_descriptors(self) -> List[SourceDescriptor]:
         """Every stored descriptor, sorted by source id."""
@@ -103,10 +119,7 @@ class SourceRegistry:
 
     def domains(self) -> List[str]:
         """All domains advertised by at least one source."""
-        found = set()
-        for descriptor in self._descriptors.values():
-            found.update(descriptor.domains)
-        return sorted(found)
+        return sorted(self._by_domain)
 
     def __len__(self) -> int:
         return len(self._descriptors)

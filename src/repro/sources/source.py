@@ -11,7 +11,7 @@ reputation and negotiation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 
 from repro.data.items import InformationItem
@@ -19,9 +19,13 @@ from repro.net.failures import LoadModel, NodeHealth
 from repro.qos.vector import QoSVector
 from repro.query.model import Subquery
 from repro.sim.rng import ScopedStreams
+from repro.sources.index import CollectionIndex
 from repro.trust.blacklist import Blacklist
 from repro.uncertainty.estimates import UncertainEstimate
-from repro.uncertainty.matching import MatchingEngine
+from repro.uncertainty.matching import CandidateBlock, MatchingEngine
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
 
 TRUST_CLASSES = ("well-known", "ordinary", "dubious")
 
@@ -118,6 +122,7 @@ class InformationSource:
         streams: ScopedStreams,
         load: Optional[LoadModel] = None,
         health: Optional[NodeHealth] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ):
         if not domains:
             raise ValueError("source must serve at least one domain")
@@ -128,9 +133,13 @@ class InformationSource:
         self.engine = engine
         self.load = load
         self.health = health
+        self.metrics = metrics
         self.blacklist = Blacklist(source_id)
         self._rng = streams.stream(f"source.{source_id}")
-        self._items: List[Tuple[InformationItem, float]] = []  # (item, visible_at)
+        self._index = CollectionIndex()
+        # Prepared batch-scoring state per domain bucket; kept coherent
+        # with the index via its dirty_from/checkpoint protocol.
+        self._blocks: Dict[Optional[str], CandidateBlock] = {}
 
     # ------------------------------------------------------------------
     # Collection management
@@ -156,22 +165,47 @@ class InformationSource:
                 lag = 0.0
             else:
                 lag = float(self._rng.exponential(self.quality.freshness_lag))
-            self._items.append((item, now + lag))
+            self._index.add(item, now + lag)
             indexed += 1
         return indexed
 
     def visible_items(self, now: float, domain: Optional[str] = None) -> List[InformationItem]:
         """Items queryable at virtual time ``now``."""
-        return [
-            item
-            for item, visible_at in self._items
-            if visible_at <= now and (domain is None or item.domain == domain)
-        ]
+        return self._index.visible_items(now, domain)
 
     @property
     def collection_size(self) -> int:
         """Number of indexed (possibly not yet visible) items."""
-        return len(self._items)
+        return self._index.size
+
+    def _count_cache(self, event: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"source.block_cache.{event}").inc()
+
+    def _block_for(self, domain: Optional[str]) -> CandidateBlock:
+        """The prepared batch-scoring block for a domain bucket.
+
+        The block's candidate order is the bucket's ``(visible_at, seq)``
+        order, so "everything visible at ``now``" is always a prefix.
+        Appends past the cached length extend the block in place; an
+        insertion inside it (a late item becoming visible early) rebuilds.
+        """
+        cached = self._blocks.get(domain)
+        dirty = self._index.dirty_from(domain)
+        if cached is not None and (dirty is None or dirty >= len(cached)):
+            bucket = self._index.bucket_items(domain)
+            if len(bucket) > len(cached):
+                cached.extend(bucket[len(cached):])
+                self._count_cache("extends")
+            else:
+                self._count_cache("hits")
+            self._index.checkpoint(domain)
+            return cached
+        self._count_cache("rebuilds" if cached is not None else "misses")
+        block = self.engine.prepare(self._index.bucket_items(domain))
+        self._blocks[domain] = block
+        self._index.checkpoint(domain)
+        return block
 
     # ------------------------------------------------------------------
     # Participation
@@ -204,15 +238,16 @@ class InformationSource:
                 declined=True,
                 decline_reason=reason,
             )
-        candidates = self.visible_items(now, domain=subquery.domain)
+        n_candidates = self._index.visible_count(now, domain=subquery.domain)
         evidence = subquery.evidence_item()
-        ranked = self.engine.rank(evidence, candidates)
+        block = self._block_for(subquery.domain)
+        ranked = self.engine.rank_block(evidence, block, limit=n_candidates)
         matches: List[Tuple[InformationItem, float]] = []
         for item, score in ranked[: subquery.k]:
             if self._rng.random() < self.quality.error_rate:
                 score = float(self._rng.random())
             matches.append((item, score))
-        service_time = self.STARTUP_TIME + self.PER_CANDIDATE_TIME * len(candidates)
+        service_time = self.STARTUP_TIME + self.PER_CANDIDATE_TIME * n_candidates
         if self.load is not None:
             service_time *= self.load.service_slowdown(self.node_id)
         return SourceAnswer(
@@ -220,7 +255,7 @@ class InformationSource:
             subquery_id=subquery.subquery_id,
             matches=matches,
             service_time=service_time,
-            candidates_scanned=len(candidates),
+            candidates_scanned=n_candidates,
         )
 
     # ------------------------------------------------------------------
@@ -228,8 +263,8 @@ class InformationSource:
     # ------------------------------------------------------------------
     def true_quality_vector(self, now: float, domain: str) -> QoSVector:
         """The QoS this source would actually deliver on average."""
-        visible = len(self.visible_items(now, domain))
-        total = sum(1 for item, __ in self._items if item.domain == domain)
+        visible = self._index.visible_count(now, domain)
+        total = self._index.domain_size(domain)
         visibility = visible / total if total else 0.0
         return QoSVector(
             response_time=self.STARTUP_TIME + self.PER_CANDIDATE_TIME * visible,
@@ -241,7 +276,7 @@ class InformationSource:
 
     def cost_estimate(self, subquery: Subquery, now: float) -> UncertainEstimate:
         """Uncertain estimate of service time for ``subquery``."""
-        candidates = len(self.visible_items(now, domain=subquery.domain))
+        candidates = self._index.visible_count(now, domain=subquery.domain)
         mean = self.STARTUP_TIME + self.PER_CANDIDATE_TIME * candidates
         if self.load is not None:
             mean *= self.load.service_slowdown(self.node_id)

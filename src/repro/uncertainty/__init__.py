@@ -28,9 +28,11 @@ from repro.uncertainty.calibration import (
 )
 from repro.uncertainty.estimates import UncertainEstimate
 from repro.uncertainty.matching import (
+    CandidateBlock,
     CompoundMatcher,
     ConceptLifter,
     CrossTypeMatcher,
+    LruCache,
     MatchingEngine,
     MediaMatcher,
     TextMatcher,
@@ -51,7 +53,12 @@ from repro.uncertainty.salience import (
 from repro.uncertainty.similarity import (
     EnsembleSimilarity,
     bag_cosine,
+    bag_norm,
+    batch_bag_cosine,
+    batch_dot_kernel,
+    batch_nonnegative_cosine,
     cosine_similarity,
+    dot_kernel,
     jaccard_similarity,
     nonnegative_cosine,
     sublinear_tf,
@@ -61,7 +68,9 @@ from repro.uncertainty.similarity import (
 __all__ = [
     "BinnedCalibrator",
     "CalibrationReport",
+    "CandidateBlock",
     "CompoundMatcher",
+    "LruCache",
     "ConceptLifter",
     "CrossTypeMatcher",
     "EnsembleSimilarity",
@@ -74,7 +83,12 @@ __all__ = [
     "UncertainMatch",
     "UncertainResultSet",
     "bag_cosine",
+    "bag_norm",
+    "batch_bag_cosine",
+    "batch_dot_kernel",
+    "batch_nonnegative_cosine",
     "build_matching_engine",
+    "dot_kernel",
     "concept_peakedness",
     "cosine_similarity",
     "expected_calibration_error",

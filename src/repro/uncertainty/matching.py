@@ -14,11 +14,30 @@ This module answers all three:
 - :class:`CrossTypeMatcher` — lifts both objects into concept space.
 - :class:`CompoundMatcher` — recursive best-part alignment with weights.
 - :class:`MatchingEngine` — dispatches on item types.
+
+Every matcher exposes both a pairwise ``score`` and a batched
+``score_many``.  The batch path computes query-side state (TF bag, lift,
+feature vector) once per call instead of once per pair, scores candidates
+through the einsum kernels of :mod:`repro.uncertainty.similarity`, and
+memoizes per-item derived state in bounded LRU caches.  The contract —
+enforced by property tests — is *exact* float parity: ``score_many(q,
+cs)[i]`` is bitwise equal to ``score(q, cs[i])``, so ``rank`` and
+``rank_pairwise`` return identical lists.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -30,36 +49,144 @@ from repro.data.items import (
     TextDocument,
 )
 from repro.data.vocabulary import Vocabulary
-from repro.uncertainty.similarity import bag_cosine, nonnegative_cosine, sublinear_tf
+from repro.uncertainty.similarity import (
+    bag_cosine,
+    bag_norm,
+    batch_bag_cosine,
+    batch_dot_kernel,
+    batch_nonnegative_cosine,
+    dot_kernel,
+    nonnegative_cosine,
+    sublinear_tf,
+)
+
+if TYPE_CHECKING:
+    from repro.obs.metrics import MetricsRegistry
+
+#: default bound for per-item derived-state caches (vectors are tiny, so
+#: this is a few MB at most; long simulations stop leaking memory)
+DEFAULT_CACHE_SIZE = 8192
+
+
+class LruCache:
+    """A bounded mapping with LRU eviction and hit/miss counters.
+
+    Keys are item ids: derived state (TF bags, features, concept lifts) is
+    deterministic per item, so entries never go stale — the bound exists
+    to cap memory, not to expire values.  When a metrics registry is
+    bound, hits/misses/evictions are mirrored into
+    ``matching.cache.<name>.*`` counters.
+    """
+
+    def __init__(self, name: str, maxsize: int = DEFAULT_CACHE_SIZE):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict[object, object]" = OrderedDict()
+        self._metrics: Optional["MetricsRegistry"] = None
+
+    def bind_metrics(self, metrics: Optional["MetricsRegistry"]) -> None:
+        """Mirror this cache's counters into ``metrics`` from now on."""
+        self._metrics = metrics
+
+    def _count(self, event: str) -> None:
+        if self._metrics is not None:
+            self._metrics.counter(f"matching.cache.{self.name}.{event}").inc()
+
+    def get_or_compute(self, key: object, compute: Callable[[], object]) -> object:
+        """Cached value for ``key``, computing and inserting on miss."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            self._count("misses")
+            value = compute()
+            self._data[key] = value
+            if len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                self._count("evictions")
+            return value
+        self._data.move_to_end(key)
+        self.hits += 1
+        self._count("hits")
+        return value
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class TextMatcher:
     """Scores text/text pairs by term overlap."""
 
+    def __init__(self, cache_size: int = DEFAULT_CACHE_SIZE):
+        self._bags = LruCache("text_tf", cache_size)
+
+    def _bag(self, doc: TextDocument) -> Tuple[Dict[str, float], float]:
+        """The document's sublinear-TF bag and its norm (cached)."""
+        return self._bags.get_or_compute(  # type: ignore[return-value]
+            doc.item_id,
+            lambda: (lambda bag: (bag, bag_norm(bag)))(sublinear_tf(doc.terms)),
+        )
+
     def score(self, query: TextDocument, candidate: TextDocument) -> float:
         """Similarity score for one pair, in [0, 1]."""
-        return bag_cosine(sublinear_tf(query.terms), sublinear_tf(candidate.terms))
+        return bag_cosine(self._bag(query)[0], self._bag(candidate)[0])
+
+    def score_many(
+        self, query: TextDocument, candidates: Sequence[TextDocument]
+    ) -> np.ndarray:
+        """Scores of ``query`` against each candidate (TF computed once)."""
+        query_bag, __ = self._bag(query)
+        prepared = [self._bag(candidate) for candidate in candidates]
+        return batch_bag_cosine(
+            query_bag,
+            [bag for bag, __ in prepared],
+            [norm for __, norm in prepared],
+        )
 
 
 class MediaMatcher:
     """Scores media/media pairs over one observable feature set."""
 
-    def __init__(self, extractor: FeatureExtractor, feature_set: str):
+    def __init__(
+        self,
+        extractor: FeatureExtractor,
+        feature_set: str,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+    ):
         self.extractor = extractor
         self.feature_set = feature_set
-        self._cache: Dict[Tuple[str, str], np.ndarray] = {}
+        self._cache = LruCache("media_features", cache_size)
 
     def _features(self, obj: MediaObject) -> np.ndarray:
-        key = (obj.item_id, self.feature_set)
-        if key not in self._cache:
-            self._cache[key] = self.extractor.extract(obj, self.feature_set)
-        return self._cache[key]
+        return self._cache.get_or_compute(  # type: ignore[return-value]
+            obj.item_id, lambda: self.extractor.extract(obj, self.feature_set)
+        )
 
     def score(self, query: MediaObject, candidate: MediaObject) -> float:
         """Similarity score for one pair, in [0, 1]."""
         a = self._features(query)
         b = self._features(candidate)
-        return float((1.0 + np.dot(a, b)) / 2.0)
+        return float((1.0 + dot_kernel(a, b)) / 2.0)
+
+    def score_many(
+        self, query: MediaObject, candidates: Sequence[MediaObject]
+    ) -> np.ndarray:
+        """Scores of ``query`` against each candidate (one batched dot)."""
+        if not candidates:
+            return np.zeros(0)
+        query_features = self._features(query)
+        matrix = np.stack([self._features(candidate) for candidate in candidates])
+        return (1.0 + batch_dot_kernel(matrix, query_features)) / 2.0
 
 
 class ConceptLifter:
@@ -69,7 +196,9 @@ class ConceptLifter:
     topic vectors, trained on a labelled sample (in a real deployment this
     would be a hand-annotated calibration set; here the generator supplies
     labels).  For text: the vocabulary's topic posterior, which needs no
-    training.
+    training.  Lifts are memoized per item id — an item's lift is
+    deterministic — so repeated ranks over the same collection pay the
+    posterior / regression cost once.
     """
 
     def __init__(
@@ -78,12 +207,14 @@ class ConceptLifter:
         extractor: FeatureExtractor,
         feature_set: str = "content_metadata",
         ridge: float = 1.0,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ):
         self.vocabulary = vocabulary
         self.extractor = extractor
         self.feature_set = feature_set
         self.ridge = ridge
         self._weights: Optional[np.ndarray] = None
+        self._lifts = LruCache("concept_lifts", cache_size)
 
     @property
     def is_fitted(self) -> bool:
@@ -94,17 +225,18 @@ class ConceptLifter:
         """Fit the media lift on a labelled sample of media objects."""
         if not sample:
             raise ValueError("need a non-empty training sample")
-        features = np.stack(
-            [self.extractor.extract(obj, self.feature_set) for obj in sample]
-        )
+        features = self.extractor.extract_many(sample, self.feature_set)
         targets = np.stack([obj.latent for obj in sample])
         dims = features.shape[1]
         gram = features.T @ features + self.ridge * np.eye(dims)
         self._weights = np.linalg.solve(gram, features.T @ targets)
+        self._lifts.clear()  # lifts depend on the weights
         return self
 
-    def lift(self, item: InformationItem) -> np.ndarray:
-        """Map ``item`` to a (normalised, non-negative) concept vector."""
+    def _uniform(self, dimensions: int) -> np.ndarray:
+        return np.full(dimensions, 1.0 / dimensions)
+
+    def _lift_uncached(self, item: InformationItem) -> np.ndarray:
         if isinstance(item, TextDocument):
             return self.vocabulary.topic_posterior(item.terms)
         if isinstance(item, MediaObject):
@@ -115,15 +247,49 @@ class ConceptLifter:
             raw = np.clip(raw, 0.0, None)
             total = raw.sum()
             if total <= 0:
-                return np.full(raw.shape, 1.0 / raw.shape[0])
+                return self._uniform(raw.shape[0])
             return raw / total
         if isinstance(item, CompoundObject):
             parts = item.flat_parts()
-            lifted = np.stack([self.lift(part) * weight for part, weight in parts])
+            dimensions = self.vocabulary.topic_space.n_topics
+            if not parts:
+                return self._uniform(dimensions)
             total = sum(weight for __, weight in parts)
+            if total <= 0:
+                # All-zero part weights would otherwise produce 0/0 = NaN.
+                return self._uniform(dimensions)
+            lifted = np.stack([self.lift(part) * weight for part, weight in parts])
             vector = lifted.sum(axis=0) / total
-            return vector / vector.sum()
+            vector_total = vector.sum()
+            if vector_total <= 0 or not np.isfinite(vector_total):
+                return self._uniform(dimensions)
+            return vector / vector_total
         raise TypeError(f"cannot lift item of type {type(item).__name__}")
+
+    def lift(self, item: InformationItem) -> np.ndarray:
+        """Map ``item`` to a (normalised, non-negative) concept vector."""
+        return self.lift_with_norm(item)[0]
+
+    def lift_with_norm(self, item: InformationItem) -> Tuple[np.ndarray, float]:
+        """The concept vector and its Euclidean norm (both cached)."""
+        return self._lifts.get_or_compute(  # type: ignore[return-value]
+            item.item_id,
+            lambda: (lambda v: (v, float(np.linalg.norm(v))))(
+                self._lift_uncached(item)
+            ),
+        )
+
+    def lift_many(
+        self, items: Sequence[InformationItem]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stacked concept vectors and norms for many items (cached)."""
+        if not items:
+            n_topics = self.vocabulary.topic_space.n_topics
+            return np.zeros((0, n_topics)), np.zeros(0)
+        pairs = [self.lift_with_norm(item) for item in items]
+        matrix = np.stack([vector for vector, __ in pairs])
+        norms = np.array([norm for __, norm in pairs])
+        return matrix, norms
 
 
 class CrossTypeMatcher:
@@ -135,6 +301,16 @@ class CrossTypeMatcher:
     def score(self, query: InformationItem, candidate: InformationItem) -> float:
         """Similarity score for one pair, in [0, 1]."""
         return nonnegative_cosine(self.lifter.lift(query), self.lifter.lift(candidate))
+
+    def score_many(
+        self, query: InformationItem, candidates: Sequence[InformationItem]
+    ) -> np.ndarray:
+        """Scores of ``query`` against each candidate (query lifted once)."""
+        if not candidates:
+            return np.zeros(0)
+        query_lift, query_norm = self.lifter.lift_with_norm(query)
+        matrix, norms = self.lifter.lift_many(candidates)
+        return batch_nonnegative_cosine(matrix, norms, query_lift, query_norm)
 
 
 class CompoundMatcher:
@@ -165,11 +341,218 @@ class CompoundMatcher:
             aggregate += weight * best
         return aggregate / total_weight
 
+    def score_many(
+        self, query: InformationItem, candidates: Sequence[InformationItem]
+    ) -> np.ndarray:
+        """Scores against each candidate; each query part batched once.
+
+        All candidates' leaf parts are scored in one ``score_many`` per
+        query part, then the best-part/weighted-mean aggregation runs on
+        the resulting rows — the same arithmetic, in the same order, as
+        the pairwise path.
+        """
+        n = len(candidates)
+        scores = np.zeros(n)
+        if n == 0:
+            return scores
+        query_parts = self._parts(query)
+        if not query_parts:
+            return scores
+        total_weight = sum(weight for __, weight in query_parts)
+        parts_per_candidate = [self._parts(candidate) for candidate in candidates]
+        flat_parts: List[InformationItem] = [
+            part for parts in parts_per_candidate for part, __ in parts
+        ]
+        if not flat_parts:
+            return scores
+        rows = [self.base.score_many(part, flat_parts) for part, __ in query_parts]
+        offset = 0
+        for i, candidate_parts in enumerate(parts_per_candidate):
+            width = len(candidate_parts)
+            if width == 0:
+                continue
+            aggregate = 0.0
+            for row, (__, weight) in zip(rows, query_parts):
+                aggregate += weight * float(row[offset:offset + width].max())
+            scores[i] = aggregate / total_weight
+            offset += width
+        return scores
+
     @staticmethod
     def _parts(item: InformationItem) -> List[Tuple[InformationItem, float]]:
         if isinstance(item, CompoundObject):
             return item.flat_parts()
         return [(item, 1.0)]
+
+
+# Candidate kind tags used by CandidateBlock partitions.
+_KIND_TEXT = 0
+_KIND_MEDIA = 1
+_KIND_COMPOUND = 2
+_KIND_OTHER = 3
+
+
+class CandidateBlock:
+    """Prepared batch-scoring state over an ordered candidate pool.
+
+    A block partitions candidates by type, stacks their cached derived
+    vectors into matrices, and scores any query against a *prefix* of the
+    pool in one pass.  Sources keep blocks per domain (candidates sorted
+    by visibility time, so "the items visible at ``now``" is always a
+    prefix) and extend them incrementally as items are ingested.
+
+    Scores are bitwise-identical to the pairwise path; candidate order
+    only affects the order of the returned array, never a value.
+    """
+
+    def __init__(self, engine: "MatchingEngine", items: Sequence[InformationItem]):
+        self.engine = engine
+        self.items: List[InformationItem] = []
+        self._kinds: List[int] = []
+        # Ascending positions per partition, aligned with per-kind state.
+        self._text_positions: List[int] = []
+        self._text_bags: List[Dict[str, float]] = []
+        self._text_norms: List[float] = []
+        self._media_positions: List[int] = []
+        self._compound_positions: List[int] = []
+        self._noncompound_positions: List[int] = []
+        self._noncompound_kinds: List[int] = []
+        # Lazily stacked matrices (rebuilt from per-item caches on demand).
+        self._media_matrix: Optional[np.ndarray] = None
+        self._lift_matrix: Optional[np.ndarray] = None
+        self._lift_norms: Optional[np.ndarray] = None
+        self.extend(items)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def extend(self, new_items: Sequence[InformationItem]) -> None:
+        """Append candidates, invalidating only the stacked matrices.
+
+        Per-item derived state (TF bags, features, lifts) stays cached in
+        the engine's LRU caches, so re-stacking after an extend re-derives
+        nothing — it only rebuilds the dense views.
+        """
+        if not new_items:
+            return
+        text = self.engine.text
+        for item in new_items:
+            position = len(self.items)
+            self.items.append(item)
+            if isinstance(item, CompoundObject):
+                kind = _KIND_COMPOUND
+                self._compound_positions.append(position)
+            elif isinstance(item, TextDocument):
+                kind = _KIND_TEXT
+                self._text_positions.append(position)
+                bag, norm = text._bag(item)
+                self._text_bags.append(bag)
+                self._text_norms.append(norm)
+            elif isinstance(item, MediaObject):
+                kind = _KIND_MEDIA
+                self._media_positions.append(position)
+            else:
+                kind = _KIND_OTHER
+            self._kinds.append(kind)
+            if kind != _KIND_COMPOUND:
+                self._noncompound_positions.append(position)
+                self._noncompound_kinds.append(kind)
+        self._media_matrix = None
+        self._lift_matrix = None
+        self._lift_norms = None
+
+    # -- lazily stacked matrices ----------------------------------------
+    def _media_rows(self) -> np.ndarray:
+        if self._media_matrix is None:
+            media = self.engine.media
+            if self._media_positions:
+                rows = [
+                    media._features(self.items[p])  # type: ignore[arg-type]
+                    for p in self._media_positions
+                ]
+                self._media_matrix = np.stack(rows)
+            else:
+                self._media_matrix = np.zeros((0, 0))
+        return self._media_matrix
+
+    def _lift_rows(self) -> Tuple[np.ndarray, np.ndarray]:
+        if self._lift_matrix is None or self._lift_norms is None:
+            lifter = self.engine.cross.lifter
+            self._lift_matrix, self._lift_norms = lifter.lift_many(
+                [self.items[p] for p in self._noncompound_positions]
+            )
+        return self._lift_matrix, self._lift_norms
+
+    # -- scoring ---------------------------------------------------------
+    def score(
+        self, query: InformationItem, limit: Optional[int] = None
+    ) -> np.ndarray:
+        """Scores of ``query`` against the first ``limit`` candidates.
+
+        ``scores[i]`` is bitwise equal to
+        ``engine.score(query, self.items[i])``.
+        """
+        n = len(self.items) if limit is None else min(limit, len(self.items))
+        if n <= 0:
+            return np.zeros(0)
+        if isinstance(query, CompoundObject):
+            return self.engine.compound.score_many(query, self.items[:n])
+        scores = np.zeros(n)
+        self._score_native(query, n, scores)
+        self._score_cross(query, n, scores)
+        compound_prefix = bisect_left(self._compound_positions, n)
+        if compound_prefix:
+            positions = self._compound_positions[:compound_prefix]
+            scores[positions] = self.engine.compound.score_many(
+                query, [self.items[p] for p in positions]
+            )
+        return scores
+
+    def _score_native(
+        self, query: InformationItem, n: int, scores: np.ndarray
+    ) -> None:
+        """Same-type scores (text/text term overlap, media/media features)."""
+        if isinstance(query, TextDocument):
+            prefix = bisect_left(self._text_positions, n)
+            if prefix:
+                query_bag, __ = self.engine.text._bag(query)
+                scores[self._text_positions[:prefix]] = batch_bag_cosine(
+                    query_bag,
+                    self._text_bags[:prefix],
+                    self._text_norms[:prefix],
+                )
+        elif isinstance(query, MediaObject):
+            prefix = bisect_left(self._media_positions, n)
+            if prefix:
+                media = self.engine.media
+                query_features = media._features(query)
+                scores[self._media_positions[:prefix]] = (
+                    1.0 + batch_dot_kernel(self._media_rows()[:prefix], query_features)
+                ) / 2.0
+
+    def _score_cross(
+        self, query: InformationItem, n: int, scores: np.ndarray
+    ) -> None:
+        """Concept-space scores for mixed-type (non-compound) pairs."""
+        if isinstance(query, TextDocument):
+            native = _KIND_TEXT
+        elif isinstance(query, MediaObject):
+            native = _KIND_MEDIA
+        else:
+            native = -1  # plain base items always lift (and may TypeError)
+        prefix = bisect_left(self._noncompound_positions, n)
+        rows = [
+            j for j in range(prefix) if self._noncompound_kinds[j] != native
+        ]
+        if not rows:
+            return
+        lifter = self.engine.cross.lifter
+        query_lift, query_norm = lifter.lift_with_norm(query)
+        matrix, norms = self._lift_rows()
+        positions = [self._noncompound_positions[j] for j in rows]
+        scores[positions] = batch_nonnegative_cosine(
+            matrix[rows], norms[rows], query_lift, query_norm
+        )
 
 
 class MatchingEngine:
@@ -178,6 +561,10 @@ class MatchingEngine:
     Uses the most specific matcher available: text/text → term overlap,
     media/media → the configured feature set, anything involving a
     compound → part alignment, and mixed plain types → concept-space lift.
+
+    ``rank``/``score_many`` run the batched kernels; ``rank_pairwise``
+    retains the one-pair-at-a-time reference path the parity property
+    tests compare against.
     """
 
     def __init__(
@@ -185,11 +572,28 @@ class MatchingEngine:
         text_matcher: TextMatcher,
         media_matcher: MediaMatcher,
         cross_matcher: CrossTypeMatcher,
+        metrics: Optional["MetricsRegistry"] = None,
     ):
         self.text = text_matcher
         self.media = media_matcher
         self.cross = cross_matcher
         self.compound = CompoundMatcher(self)
+        self._metrics: Optional["MetricsRegistry"] = None
+        self.attach_metrics(metrics)
+
+    def attach_metrics(self, metrics: Optional["MetricsRegistry"]) -> None:
+        """Record rank batch sizes and cache traffic into ``metrics``."""
+        self._metrics = metrics
+        for cache in self.caches().values():
+            cache.bind_metrics(metrics)
+
+    def caches(self) -> Dict[str, LruCache]:
+        """The engine's derived-state caches, by name."""
+        return {
+            "text_tf": self.text._bags,
+            "media_features": self.media._cache,
+            "concept_lifts": self.cross.lifter._lifts,
+        }
 
     def score(self, query: InformationItem, candidate: InformationItem) -> float:
         """Return a similarity score in [0, 1] for any item pair."""
@@ -201,12 +605,57 @@ class MatchingEngine:
             return self.media.score(query, candidate)
         return self.cross.score(query, candidate)
 
+    def prepare(self, candidates: Sequence[InformationItem]) -> CandidateBlock:
+        """Build reusable batch-scoring state over ``candidates``."""
+        return CandidateBlock(self, candidates)
+
+    def score_many(
+        self, query: InformationItem, candidates: Sequence[InformationItem]
+    ) -> np.ndarray:
+        """Scores of ``query`` against each candidate, batched.
+
+        ``score_many(q, cs)[i] == score(q, cs[i])`` exactly.
+        """
+        return self.prepare(candidates).score(query)
+
     def rank(
         self, query: InformationItem, candidates: Sequence[InformationItem]
     ) -> List[Tuple[InformationItem, float]]:
         """Candidates with scores, best first (ties broken by item id)."""
+        return self.rank_block(query, self.prepare(candidates))
+
+    def rank_block(
+        self,
+        query: InformationItem,
+        block: CandidateBlock,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[InformationItem, float]]:
+        """Rank the first ``limit`` candidates of a prepared block."""
+        n = len(block) if limit is None else min(limit, len(block))
+        self._observe_rank(n)
+        scores = block.score(query, limit=n)
+        scored = [
+            (item, float(score)) for item, score in zip(block.items[:n], scores)
+        ]
+        return sorted(scored, key=lambda pair: (-pair[1], pair[0].item_id))
+
+    def rank_pairwise(
+        self, query: InformationItem, candidates: Sequence[InformationItem]
+    ) -> List[Tuple[InformationItem, float]]:
+        """Reference ranking via one ``score`` call per candidate.
+
+        Kept as the ground truth the batch path is property-tested
+        against (and as a micro-benchmark baseline).
+        """
         scored = [(item, self.score(query, item)) for item in candidates]
         return sorted(scored, key=lambda pair: (-pair[1], pair[0].item_id))
+
+    def _observe_rank(self, batch_size: int) -> None:
+        if self._metrics is not None:
+            self._metrics.counter("matching.rank_calls").inc()
+            self._metrics.histogram("matching.rank_batch_size").observe(
+                float(batch_size)
+            )
 
 
 def build_matching_engine(
@@ -214,6 +663,7 @@ def build_matching_engine(
     extractor: FeatureExtractor,
     feature_set: str = "content_metadata",
     lifter_sample: Optional[Sequence[MediaObject]] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> MatchingEngine:
     """Convenience constructor wiring the standard matchers together."""
     lifter = ConceptLifter(vocabulary, extractor, feature_set=feature_set)
@@ -223,4 +673,5 @@ def build_matching_engine(
         text_matcher=TextMatcher(),
         media_matcher=MediaMatcher(extractor, feature_set),
         cross_matcher=CrossTypeMatcher(lifter),
+        metrics=metrics,
     )

@@ -3,13 +3,39 @@
 These are the low-level metrics the matching engines build on.  All of
 them return values in [0, 1] where 1 means identical, so scores from
 different metrics can be ensembled and later calibrated to probabilities.
+
+Dot products go through :func:`dot_kernel` / :func:`batch_dot_kernel`
+(``np.einsum``), never BLAS: ``M @ v`` is *not* bitwise-identical to its
+per-row dot products (BLAS picks different accumulation kernels for gemv
+and dot), while einsum computes each output element with one fixed
+reduction regardless of batch size.  That property is what lets the
+batched matchers guarantee *exact* float parity with the pairwise path.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
+
+
+def dot_kernel(a: np.ndarray, b: np.ndarray) -> float:
+    """Dot product of two 1-D vectors, bitwise-stable under batching.
+
+    ``dot_kernel(M[i], v) == batch_dot_kernel(M, v)[i]`` exactly, which
+    BLAS (``np.dot``/``@``) does not guarantee.
+    """
+    return float(np.einsum("j,j->", a, b))
+
+
+def batch_dot_kernel(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Row-wise dot products of ``matrix`` against ``vector``.
+
+    Each row's result is bitwise-identical to ``dot_kernel(row, vector)``.
+    """
+    if matrix.shape[0] == 0:
+        return np.zeros(0)
+    return np.einsum("ij,j->i", matrix, vector)
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
@@ -22,7 +48,7 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     nb = np.linalg.norm(b)
     if na == 0 or nb == 0:
         return 0.0
-    return float((1.0 + np.dot(a, b) / (na * nb)) / 2.0)
+    return float((1.0 + dot_kernel(a, b) / (na * nb)) / 2.0)
 
 
 def nonnegative_cosine(a: np.ndarray, b: np.ndarray) -> float:
@@ -35,7 +61,31 @@ def nonnegative_cosine(a: np.ndarray, b: np.ndarray) -> float:
     nb = np.linalg.norm(b)
     if na == 0 or nb == 0:
         return 0.0
-    return float(np.clip(np.dot(a, b) / (na * nb), 0.0, 1.0))
+    return float(np.clip(dot_kernel(a, b) / (na * nb), 0.0, 1.0))
+
+
+def batch_nonnegative_cosine(
+    matrix: np.ndarray,
+    row_norms: np.ndarray,
+    vector: np.ndarray,
+    vector_norm: float,
+) -> np.ndarray:
+    """Vectorized :func:`nonnegative_cosine` of each matrix row vs ``vector``.
+
+    ``row_norms`` must hold ``np.linalg.norm(row)`` per row and
+    ``vector_norm`` must be ``np.linalg.norm(vector)`` — they are taken as
+    arguments so callers can cache them.  Result element ``i`` is bitwise
+    equal to ``nonnegative_cosine(matrix[i], vector)``.
+    """
+    n = matrix.shape[0]
+    if n == 0:
+        return np.zeros(0)
+    if vector_norm == 0:
+        return np.zeros(n)
+    dots = batch_dot_kernel(matrix, vector)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        cosines = np.clip(dots / (row_norms * vector_norm), 0.0, 1.0)
+    return np.where(row_norms == 0, 0.0, cosines)
 
 
 def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
@@ -74,11 +124,50 @@ def bag_cosine(a: Mapping[str, float], b: Mapping[str, float]) -> float:
         return 0.0
     shared = set(a) & set(b)
     dot = sum(a[k] * b[k] for k in shared)
-    norm_a = float(np.sqrt(sum(v * v for v in a.values())))
-    norm_b = float(np.sqrt(sum(v * v for v in b.values())))
+    norm_a = bag_norm(a)
+    norm_b = bag_norm(b)
     if norm_a == 0 or norm_b == 0:
         return 0.0
     return float(np.clip(dot / (norm_a * norm_b), 0.0, 1.0))
+
+
+def bag_norm(bag: Mapping[str, float]) -> float:
+    """Euclidean norm of a sparse weighted bag (cacheable per item)."""
+    return float(np.sqrt(sum(v * v for v in bag.values())))
+
+
+def batch_bag_cosine(
+    query_bag: Mapping[str, float],
+    candidate_bags: Sequence[Mapping[str, float]],
+    candidate_norms: Optional[Sequence[float]] = None,
+) -> np.ndarray:
+    """:func:`bag_cosine` of ``query_bag`` against many candidate bags.
+
+    The query-side norm is computed once instead of once per pair;
+    ``candidate_norms`` (``bag_norm`` per bag) may be passed to reuse
+    cached values.  Element ``i`` is bitwise equal to
+    ``bag_cosine(query_bag, candidate_bags[i])``.
+    """
+    n = len(candidate_bags)
+    scores = np.zeros(n)
+    if n == 0 or not query_bag:
+        return scores
+    query_keys = set(query_bag)
+    query_norm = bag_norm(query_bag)
+    if query_norm == 0:
+        return scores
+    norms: List[float] = (
+        list(candidate_norms)
+        if candidate_norms is not None
+        else [bag_norm(bag) for bag in candidate_bags]
+    )
+    for i, bag in enumerate(candidate_bags):
+        if not bag or norms[i] == 0:
+            continue
+        shared = query_keys & set(bag)
+        dot = sum(query_bag[k] * bag[k] for k in shared)
+        scores[i] = float(np.clip(dot / (query_norm * norms[i]), 0.0, 1.0))
+    return scores
 
 
 class EnsembleSimilarity:

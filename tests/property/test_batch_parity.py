@@ -1,0 +1,252 @@
+"""Property tests: batch scoring is *exactly* the pairwise path.
+
+The vectorized kernels promise bitwise float parity, not approximate
+agreement: ``score_many(q, cs)[i] == score(q, cs[i])`` down to the last
+bit, and ``rank`` returns the identical list (same order, same floats,
+same tie-breaks) as the one-pair-at-a-time reference ``rank_pairwise``.
+Likewise the sorted ``CollectionIndex`` must answer visibility questions
+exactly like the legacy linear scan it replaced.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CorpusGenerator,
+    DomainSpec,
+    FeatureExtractor,
+    InformationItem,
+    TopicSpace,
+    Vocabulary,
+)
+from repro.sim import RngStreams
+from repro.sources import CollectionIndex, InformationSource, SourceQuality
+from repro.uncertainty import build_matching_engine
+
+POOL_SIZE = 60
+
+
+@pytest.fixture(scope="module")
+def parity_world():
+    """A fixed mixed-type item pool plus a fitted engine."""
+    streams = RngStreams(seed=505).spawn("parity")
+    space = TopicSpace(8)
+    vocabulary = Vocabulary(
+        space, streams.spawn("v"), vocabulary_size=400, terms_per_topic=50
+    )
+    corpus = CorpusGenerator(
+        space, vocabulary, streams.spawn("c"), feature_dimensions=16
+    )
+    extractor = FeatureExtractor(16, streams.spawn("f"))
+
+    def spec(name, mix):
+        return DomainSpec(
+            name=name, topic_prior={"folk-jewelry": 0.6, "dance-forms": 0.4},
+            type_mix=mix, concentration=0.4,
+        )
+
+    sample = corpus.generate(
+        spec("sample", {"text": 0.0, "media": 1.0, "compound": 0.0}), 40
+    )
+    engine = build_matching_engine(vocabulary, extractor, lifter_sample=sample)
+    pool = corpus.generate(
+        spec("pool", {"text": 0.4, "media": 0.4, "compound": 0.2}), POOL_SIZE
+    )
+    queries = corpus.generate(
+        spec("query", {"text": 0.4, "media": 0.4, "compound": 0.2}), 10
+    )
+    return engine, pool, queries
+
+
+class TestBatchPairwiseParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        indices=st.lists(
+            st.integers(min_value=0, max_value=POOL_SIZE - 1),
+            min_size=0, max_size=40,
+        ),
+        query_index=st.integers(min_value=0, max_value=9),
+    )
+    def test_rank_matches_pairwise_exactly(
+        self, parity_world, indices, query_index
+    ):
+        engine, pool, queries = parity_world
+        candidates = [pool[i] for i in indices]
+        query = queries[query_index]
+        batch = engine.rank(query, candidates)
+        pairwise = engine.rank_pairwise(query, candidates)
+        assert len(batch) == len(pairwise) == len(candidates)
+        for (item_b, score_b), (item_p, score_p) in zip(batch, pairwise):
+            assert item_b.item_id == item_p.item_id
+            assert score_b == score_p  # bitwise, not approx
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        indices=st.lists(
+            st.integers(min_value=0, max_value=POOL_SIZE - 1),
+            min_size=0, max_size=40,
+        ),
+        query_index=st.integers(min_value=0, max_value=9),
+    )
+    def test_score_many_matches_score_elementwise(
+        self, parity_world, indices, query_index
+    ):
+        engine, pool, queries = parity_world
+        candidates = [pool[i] for i in indices]
+        query = queries[query_index]
+        batch = engine.score_many(query, candidates)
+        single = np.array([engine.score(query, c) for c in candidates])
+        assert np.array_equal(batch, single)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        split=st.integers(min_value=0, max_value=POOL_SIZE),
+        limit=st.integers(min_value=0, max_value=POOL_SIZE + 5),
+        query_index=st.integers(min_value=0, max_value=9),
+    )
+    def test_block_prefix_and_extend_parity(
+        self, parity_world, split, limit, query_index
+    ):
+        """An extended block scores prefixes like a fresh score_many."""
+        engine, pool, queries = parity_world
+        query = queries[query_index]
+        block = engine.prepare(pool[:split])
+        block.extend(pool[split:])
+        scores = block.score(query, limit=limit)
+        expected = engine.score_many(query, pool[:limit])
+        assert np.array_equal(scores, expected)
+
+
+def _item(index: int, domain: str) -> InformationItem:
+    return InformationItem(
+        item_id=f"idx-{domain}-{index}", domain=domain, latent=np.zeros(2)
+    )
+
+
+ingest_steps = st.lists(
+    st.tuples(
+        st.sampled_from(["alpha", "beta", "gamma"]),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    min_size=0, max_size=60,
+)
+probe_times = st.lists(
+    st.floats(min_value=-5.0, max_value=110.0, allow_nan=False),
+    min_size=1, max_size=8,
+)
+
+
+class TestCollectionIndexEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(steps=ingest_steps, probes=probe_times)
+    def test_visible_items_match_linear_scan(self, steps, probes):
+        """The index answers exactly like the legacy O(N) list scan."""
+        index = CollectionIndex()
+        legacy = []  # (item, visible_at) in ingestion order
+        for position, (domain, visible_at) in enumerate(steps):
+            item = _item(position, domain)
+            index.add(item, visible_at)
+            legacy.append((item, visible_at))
+        for now in probes:
+            for domain in [None, "alpha", "beta", "gamma", "missing"]:
+                expected = [
+                    item for item, visible_at in legacy
+                    if visible_at <= now
+                    and (domain is None or item.domain == domain)
+                ]
+                assert index.visible_items(now, domain) == expected
+                assert index.visible_count(now, domain) == len(expected)
+        for domain in [None, "alpha", "beta", "gamma", "missing"]:
+            expected_total = sum(
+                1 for item, __ in legacy
+                if domain is None or item.domain == domain
+            )
+            assert index.domain_size(domain) == expected_total
+        assert index.size == len(legacy)
+
+    @settings(max_examples=40, deadline=None)
+    @given(steps=ingest_steps)
+    def test_interleaved_probes_match_linear_scan(self, steps):
+        """Probing between ingests (cache extend/rebuild) stays exact."""
+        index = CollectionIndex()
+        legacy = []
+        for position, (domain, visible_at) in enumerate(steps):
+            item = _item(position, domain)
+            index.add(item, visible_at)
+            legacy.append((item, visible_at))
+            now = visible_at  # probe right at the new item's boundary
+            expected = [i for i, v in legacy if v <= now]
+            assert index.visible_items(now) == expected
+
+
+class TestSourceAnswerCoherence:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        batches=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=8),   # ingest batch size
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=80.0, allow_nan=False),
+            ),
+            min_size=1, max_size=5,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_answers_track_pairwise_over_ingest_sequences(
+        self, parity_world, batches, seed
+    ):
+        """Cached blocks stay coherent across arbitrary ingest/now orders.
+
+        After every ingest batch the source must answer with exactly the
+        ranking the reference pairwise path produces over the visible
+        items — regardless of whether the cached block was reused,
+        extended, or rebuilt.  The query's evidence item is minted fresh
+        per call (new item id), so equal scores here also demonstrate
+        that scores depend only on content, never on cache identity.
+        """
+        engine, pool, queries = parity_world
+        query = _topic_query(engine)
+        subquery = query.restricted_to("pool")
+        source = InformationSource(
+            source_id=f"prop-src-{seed}",
+            node_id="n0",
+            domains=["pool"],
+            quality=SourceQuality(
+                coverage=1.0, freshness_lag=10.0, error_rate=0.0,
+            ),
+            engine=engine,
+            streams=RngStreams(seed=seed).spawn("prop"),
+        )
+        cursor = 0
+        for size, ingest_now, probe_now in batches:
+            chunk = pool[cursor:cursor + size]
+            cursor += size
+            source.ingest(chunk, now=ingest_now)
+            answer = source.answer(subquery, now=probe_now)
+            visible = source.visible_items(probe_now, "pool")
+            assert answer.candidates_scanned == len(visible)
+            expected = engine.rank_pairwise(
+                subquery.evidence_item(), visible
+            )[: subquery.k]
+            assert [i.item_id for i, __ in answer.matches] == [
+                i.item_id for i, __ in expected
+            ]
+            assert [s for __, s in answer.matches] == [s for __, s in expected]
+
+
+def _topic_query(engine):
+    """A topic query over the parity world's vocabulary."""
+    from repro.query import Query, QueryKind
+
+    vocabulary = engine.cross.lifter.vocabulary
+    space = vocabulary.topic_space
+    rng = np.random.default_rng(99)
+    intent = space.basis("folk-jewelry", weight=0.9)
+    return Query(
+        kind=QueryKind.TOPIC,
+        terms=vocabulary.sample_terms(intent, rng, length=50),
+        intent_latent=intent,
+        k=5,
+    )

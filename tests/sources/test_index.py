@@ -1,0 +1,94 @@
+"""Tests for the sorted, bucketed collection index."""
+
+import numpy as np
+import pytest
+
+from repro.data import InformationItem
+from repro.sources import CollectionIndex
+
+
+def _item(index, domain="museum"):
+    return InformationItem(
+        item_id=f"ci-{domain}-{index}", domain=domain, latent=np.zeros(2)
+    )
+
+
+@pytest.fixture
+def index():
+    return CollectionIndex()
+
+
+class TestVisibility:
+    def test_empty_index(self, index):
+        assert index.size == 0
+        assert index.visible_items(10.0) == []
+        assert index.visible_count(10.0) == 0
+        assert index.domain_size("museum") == 0
+
+    def test_prefix_by_visibility_time(self, index):
+        early, late = _item(0), _item(1)
+        index.add(late, visible_at=50.0)
+        index.add(early, visible_at=5.0)
+        assert index.visible_items(0.0) == []
+        assert index.visible_items(10.0) == [early]
+        assert index.visible_items(60.0) == [late, early]  # ingestion order
+
+    def test_ingestion_order_preserved(self, index):
+        items = [_item(i) for i in range(5)]
+        # Visibility times deliberately shuffled vs ingestion order.
+        for item, visible_at in zip(items, [30.0, 10.0, 20.0, 0.0, 15.0]):
+            index.add(item, visible_at)
+        assert index.visible_items(100.0) == items
+
+    def test_boundary_is_inclusive(self, index):
+        item = _item(0)
+        index.add(item, visible_at=7.0)
+        assert index.visible_items(7.0) == [item]
+        assert index.visible_count(6.999) == 0
+
+    def test_domain_buckets(self, index):
+        museum, auction = _item(0, "museum"), _item(1, "auction")
+        index.add(museum, 0.0)
+        index.add(auction, 0.0)
+        assert index.visible_items(1.0, "museum") == [museum]
+        assert index.visible_items(1.0, "auction") == [auction]
+        assert index.visible_items(1.0, "no-such-domain") == []
+        assert index.visible_items(1.0) == [museum, auction]
+        assert index.domain_size("museum") == 1
+        assert index.size == 2
+
+
+class TestCacheCoherenceProtocol:
+    def test_untouched_after_checkpoint(self, index):
+        index.add(_item(0), 1.0)
+        index.checkpoint("museum")
+        assert index.dirty_from("museum") is None
+
+    def test_append_reports_end_position(self, index):
+        index.add(_item(0), 1.0)
+        index.checkpoint("museum")
+        index.add(_item(1), 2.0)
+        assert index.dirty_from("museum") == 1  # appended past position 0
+
+    def test_mid_insert_reports_inner_position(self, index):
+        index.add(_item(0), 10.0)
+        index.add(_item(1), 30.0)
+        index.checkpoint("museum")
+        index.add(_item(2), 20.0)  # lands between the two cached entries
+        assert index.dirty_from("museum") == 1
+
+    def test_dirty_tracks_minimum_position(self, index):
+        index.add(_item(0), 10.0)
+        index.add(_item(1), 30.0)
+        index.checkpoint("museum")
+        index.add(_item(2), 40.0)  # append
+        index.add(_item(3), 0.0)   # front insert
+        assert index.dirty_from("museum") == 0
+
+    def test_buckets_track_dirt_independently(self, index):
+        index.add(_item(0, "museum"), 1.0)
+        index.checkpoint("museum")
+        index.add(_item(1, "auction"), 1.0)
+        assert index.dirty_from("museum") is None
+        assert index.dirty_from("auction") == 0
+        assert index.dirty_from(CollectionIndex.ALL) == 0

@@ -7,7 +7,8 @@ from repro.data import (
     DomainSpec,
     FeatureExtractor,
 )
-from repro.uncertainty import ConceptLifter, build_matching_engine
+from repro.data.items import CompoundObject, TextDocument, make_item_id
+from repro.uncertainty import ConceptLifter, LruCache, build_matching_engine
 from repro.uncertainty.matching import MediaMatcher, TextMatcher
 
 
@@ -121,6 +122,95 @@ class TestConceptLifter:
         compound = corpus_generator.generate(_compound_domain(), 1)[0]
         lifted = lifter.lift(compound)
         assert lifted.sum() == pytest.approx(1.0)
+
+    def test_lift_compound_zero_weights_is_uniform(self, vocabulary, extractor):
+        """Regression: all-zero part weights used to produce 0/0 = NaN."""
+        lifter = ConceptLifter(vocabulary, extractor)
+        part = TextDocument(
+            item_id=make_item_id(), domain="d", latent=np.zeros(2),
+            terms={"w00001": 3},
+        )
+        compound = CompoundObject(
+            item_id=make_item_id(), domain="d", latent=np.zeros(2),
+            parts=[(part, 0.0)],
+        )
+        lifted = lifter.lift(compound)
+        assert np.all(np.isfinite(lifted))
+        n = vocabulary.topic_space.n_topics
+        assert np.allclose(lifted, np.full(n, 1.0 / n))
+
+    def test_lift_compound_no_parts_is_uniform(self, vocabulary, extractor):
+        lifter = ConceptLifter(vocabulary, extractor)
+        compound = CompoundObject(
+            item_id=make_item_id(), domain="d", latent=np.zeros(2), parts=[],
+        )
+        lifted = lifter.lift(compound)
+        n = vocabulary.topic_space.n_topics
+        assert np.allclose(lifted, np.full(n, 1.0 / n))
+
+    def test_lift_is_memoized_and_cleared_on_fit(
+        self, vocabulary, extractor, corpus_generator
+    ):
+        sample = corpus_generator.generate(_media_domain("train"), 60)
+        lifter = ConceptLifter(vocabulary, extractor).fit(sample)
+        item = corpus_generator.generate(_media_domain(), 1)[0]
+        first = lifter.lift(item)
+        assert lifter.lift(item) is first  # served from the cache
+        lifter.fit(sample)
+        assert lifter.lift(item) is not first  # cache dropped with weights
+
+
+class TestLruCache:
+    def test_eviction_respects_bound(self):
+        cache = LruCache("probe", maxsize=2)
+        for key in ("a", "b", "c"):
+            cache.get_or_compute(key, lambda k=key: k.upper())
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # "a" was evicted; recomputing it is a miss.
+        assert cache.get_or_compute("a", lambda: "A2") == "A2"
+        assert cache.misses == 4
+
+    def test_recent_use_protects_entry(self):
+        cache = LruCache("probe", maxsize=2)
+        cache.get_or_compute("a", lambda: 1)
+        cache.get_or_compute("b", lambda: 2)
+        cache.get_or_compute("a", lambda: -1)  # refresh "a"
+        cache.get_or_compute("c", lambda: 3)   # evicts "b", not "a"
+        assert cache.get_or_compute("a", lambda: -1) == 1
+        assert cache.hits == 2
+
+    def test_rejects_nonpositive_maxsize(self):
+        with pytest.raises(ValueError):
+            LruCache("probe", maxsize=0)
+
+    def test_media_matcher_cache_is_bounded(self, corpus_generator, extractor):
+        items = corpus_generator.generate(_media_domain(), 12)
+        matcher = MediaMatcher(extractor, "content_metadata", cache_size=4)
+        for item in items[1:]:
+            matcher.score(items[0], item)
+        assert len(matcher._cache) <= 4
+
+
+class TestScoreManyEdges:
+    def test_empty_candidates(self, engine, corpus_generator):
+        query = corpus_generator.generate(_text_domain(), 1)[0]
+        assert engine.score_many(query, []).shape == (0,)
+        assert engine.rank(query, []) == []
+
+    def test_single_candidate_matches_score(self, engine, corpus_generator):
+        query = corpus_generator.generate(_text_domain(), 1)[0]
+        candidate = corpus_generator.generate(_media_domain(), 1)[0]
+        batch = engine.score_many(query, [candidate])
+        assert batch[0] == engine.score(query, candidate)
+
+    def test_compound_query_batch(self, engine, corpus_generator):
+        query = corpus_generator.generate(_compound_domain(), 1)[0]
+        pool = corpus_generator.generate(_text_domain(), 3) + \
+            corpus_generator.generate(_compound_domain("a2"), 2)
+        batch = engine.score_many(query, pool)
+        single = np.array([engine.score(query, c) for c in pool])
+        assert np.array_equal(batch, single)
 
 
 class TestMatchingEngine:
