@@ -101,6 +101,102 @@ def test_micro_source_answer(benchmark, world):
     assert answer.candidates_scanned == 100
 
 
+@pytest.fixture(scope="module")
+def pruning_pool(world):
+    """A skewed retrieval pool where bound pruning pays off.
+
+    A minority of on-topic museum items buried in an off-topic majority:
+    the term-index ceilings of off-topic chunks fall below the score
+    floor, so the pruned path skips most of the scoring work while
+    returning the exact exhaustive answer.
+    """
+    space, corpus, engine, items = world
+    text_only = {"text": 1.0, "media": 0.0, "compound": 0.0}
+    on_spec = DomainSpec(
+        name="museum", topic_prior={"folk-jewelry": 1.0},
+        type_mix=text_only, concentration=0.3,
+    )
+    off_spec = DomainSpec(
+        name="museum",
+        topic_prior={"academic-theses": 0.7, "dance-forms": 0.3},
+        type_mix=text_only, concentration=0.3,
+    )
+    on_topic = corpus.generate(on_spec, 80)
+    off_topic = corpus.generate(off_spec, 320)
+    # On-topic items interleaved into the front of the stream; the long
+    # off-topic tail is what the term-index ceilings get to skip.
+    pool = [x for pair in zip(off_topic[:80], on_topic) for x in pair]
+    pool.extend(off_topic[80:])
+    rng = np.random.default_rng(SEED)
+    intent = space.basis("folk-jewelry", weight=0.9)
+    vocabulary = engine.cross.lifter.vocabulary
+    query = Query(
+        kind=QueryKind.TOPIC,
+        terms=vocabulary.sample_terms(intent, rng, length=60),
+        intent_latent=intent,
+        k=10,
+        threshold=0.5,
+    )
+    return engine, pool, query
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_rank_block_exhaustive(benchmark, pruning_pool):
+    """Exhaustive baseline over the skewed pool (block prepared once)."""
+    engine, pool, query = pruning_pool
+    block = engine.prepare(pool)
+    evidence = query.evidence_item()
+    ranked = benchmark(engine.rank_block, evidence, block)
+    assert len(ranked) == len(pool)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_rank_topk_pruned(benchmark, pruning_pool):
+    """Bound-pruned top-k over the same pool, same exact results."""
+    engine, pool, query = pruning_pool
+    block = engine.prepare(pool)
+    evidence = query.evidence_item()
+    block.bounds()  # warm the bound cache, as a source's block cache would
+
+    def run():
+        return engine.rank_block_topk(
+            evidence, block, query.k, score_floor=query.threshold
+        )
+
+    ranked, stats = benchmark(run)
+    exhaustive = [
+        pair for pair in engine.rank_block(evidence, block)[: query.k]
+        if pair[1] >= query.threshold
+    ]
+    assert ranked == exhaustive
+    # The acceptance bar for the pruning layer: most scoring skipped.
+    assert stats.scored_fraction <= 0.5
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_source_answer_pruned(benchmark, pruning_pool):
+    """Source answer with a pushed-down floor over the skewed pool."""
+    from repro.query import PruneHint
+
+    engine, pool, query = pruning_pool
+    streams = RngStreams(SEED).spawn("micro-pruned-source")
+    source = InformationSource(
+        source_id="bench-pruned-src",
+        node_id="n0",
+        domains=["museum"],
+        quality=SourceQuality(coverage=1.0, freshness_lag=0.0, error_rate=0.0),
+        engine=engine,
+        streams=streams,
+    )
+    source.ingest(pool, now=0.0, immediate=True)
+    subquery = query.restricted_to("museum")
+    hint = PruneHint(score_floor=query.threshold, k_cap=query.k)
+    answer = benchmark(source.answer, subquery, 0.0, "", hint)
+    assert not answer.declined
+    assert answer.candidates_scanned == len(pool)
+    assert answer.candidates_scored <= len(pool) // 2
+
+
 @pytest.mark.benchmark(group="micro")
 def test_micro_calibrator_predict(benchmark):
     rng = np.random.default_rng(SEED)

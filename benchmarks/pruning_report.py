@@ -1,0 +1,149 @@
+"""Produce a pruning-effectiveness report as JSON (CI artifact).
+
+Runs the skewed retrieval workload from ``bench_micro.py`` — an on-topic
+minority buried in an off-topic majority — through the bound-pruned rank
+path with a metrics registry attached, then dumps the
+``matching.prune.*`` counters plus derived ratios.  CI uploads the file
+so pruning effectiveness is visible per commit without re-running
+benchmarks locally.
+
+Usage::
+
+    python benchmarks/pruning_report.py [OUTPUT.json]
+
+Exits non-zero if pruning skipped less than half of the candidate
+scoring on this workload (the acceptance bar the property and bench
+suites also enforce).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import numpy as np
+
+from repro.data import CorpusGenerator, DomainSpec, FeatureExtractor, TopicSpace, Vocabulary
+from repro.obs import MetricsRegistry
+from repro.query import PruneHint, Query, QueryKind
+from repro.sim import RngStreams
+from repro.sources import InformationSource, SourceQuality
+from repro.uncertainty import build_matching_engine
+
+SEED = 79
+MIN_SKIP_FRACTION = 0.5
+
+
+def build_workload():
+    """The bench_micro pruning pool: 80 on-topic among 320 off-topic."""
+    streams = RngStreams(SEED).spawn("report")
+    space = TopicSpace(10)
+    vocabulary = Vocabulary(space, streams.spawn("v"), vocabulary_size=800)
+    corpus = CorpusGenerator(
+        space, vocabulary, streams.spawn("c"), feature_dimensions=32
+    )
+    extractor = FeatureExtractor(32, streams.spawn("f"))
+    sample = corpus.generate(
+        DomainSpec(
+            name="gallery",
+            topic_prior={"folk-jewelry": 1.0},
+            type_mix={"text": 0.0, "media": 1.0, "compound": 0.0},
+        ),
+        60,
+    )
+    engine = build_matching_engine(vocabulary, extractor, lifter_sample=sample)
+    text_only = {"text": 1.0, "media": 0.0, "compound": 0.0}
+    on_topic = corpus.generate(
+        DomainSpec(
+            name="museum", topic_prior={"folk-jewelry": 1.0},
+            type_mix=text_only, concentration=0.3,
+        ),
+        80,
+    )
+    off_topic = corpus.generate(
+        DomainSpec(
+            name="museum",
+            topic_prior={"academic-theses": 0.7, "dance-forms": 0.3},
+            type_mix=text_only, concentration=0.3,
+        ),
+        320,
+    )
+    pool = [x for pair in zip(off_topic[:80], on_topic) for x in pair]
+    pool.extend(off_topic[80:])
+    rng = np.random.default_rng(SEED)
+    intent = space.basis("folk-jewelry", weight=0.9)
+    query = Query(
+        kind=QueryKind.TOPIC,
+        terms=vocabulary.sample_terms(intent, rng, length=60),
+        intent_latent=intent,
+        k=10,
+        threshold=0.5,
+    )
+    return engine, pool, query
+
+
+def main(argv: list) -> int:
+    output = argv[1] if len(argv) > 1 else "pruning_report.json"
+    metrics = MetricsRegistry()
+    engine, pool, query = build_workload()
+    engine.attach_metrics(metrics)
+    source = InformationSource(
+        source_id="report-src",
+        node_id="n0",
+        domains=["museum"],
+        quality=SourceQuality(coverage=1.0, freshness_lag=0.0, error_rate=0.0),
+        engine=engine,
+        streams=RngStreams(SEED).spawn("report-src"),
+        metrics=metrics,
+    )
+    source.ingest(pool, now=0.0, immediate=True)
+    subquery = query.restricted_to("museum")
+    hint = PruneHint(score_floor=query.threshold, k_cap=query.k)
+    rounds = 20
+    for __ in range(rounds):
+        answer = source.answer(subquery, now=0.0, prune=hint)
+    assert not answer.declined
+
+    counters = metrics.counters()
+    total = counters.get("matching.prune.candidates_total", 0.0)
+    scored = counters.get("matching.prune.candidates_scored", 0.0)
+    skip_fraction = 1.0 - (scored / total) if total else 0.0
+    scored_hist = metrics.histogram_or_none("matching.prune.scored_fraction")
+    report = {
+        "workload": {
+            "pool_size": len(pool),
+            "on_topic": 80,
+            "off_topic": 320,
+            "k": query.k,
+            "score_floor": query.threshold,
+            "rounds": rounds,
+        },
+        "counters": {
+            name: value
+            for name, value in sorted(counters.items())
+            if name.startswith("matching.prune.")
+        },
+        "derived": {
+            "skip_fraction": skip_fraction,
+            "scored_fraction_mean": scored_hist.mean if scored_hist else None,
+        },
+        "acceptance": {
+            "min_skip_fraction": MIN_SKIP_FRACTION,
+            "passed": skip_fraction >= MIN_SKIP_FRACTION,
+        },
+    }
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"pruning skip fraction: {skip_fraction:.3f} (report -> {output})")
+    if skip_fraction < MIN_SKIP_FRACTION:
+        print(
+            f"FAIL: pruning skipped {skip_fraction:.0%} of candidate scoring, "
+            f"below the {MIN_SKIP_FRACTION:.0%} bar"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

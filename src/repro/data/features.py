@@ -124,6 +124,13 @@ class FeatureExtractor:
         The result blends the projected true signal (weight = fidelity)
         with deterministic per-item noise (weight = 1 - fidelity) plus
         additive Gaussian observation noise.
+
+        Extraction is a pure function of ``(feature_set, item)``: the
+        noise generator is re-derived from its key on every call, so a
+        repeated extraction — a cache rebuilt after eviction, the media
+        matcher and the concept lifter extracting the same item in either
+        order — always reproduces the same vector.  Downstream caches
+        (and the pruning bound builder) depend on this.
         """
         spec = self.spec(feature_set)
         projection = self._projection(feature_set)
@@ -134,7 +141,7 @@ class FeatureExtractor:
                 f"expected ({self.true_dimensions},)"
             )
         signal = projection @ truth
-        noise_rng = self._streams.stream(f"noise.{feature_set}.{obj.item_id}")
+        noise_rng = self._streams.fresh(f"noise.{feature_set}.{obj.item_id}")
         distractor = noise_rng.normal(size=spec.dimensions)
         observation_noise = noise_rng.normal(scale=spec.noise_scale, size=spec.dimensions)
         observed = (

@@ -26,7 +26,14 @@ from repro.query.algebra import (
     standard_plan,
 )
 from repro.query.execution import ExecutionContext, ExecutionResult, QueryExecutor
-from repro.query.model import Query, QueryKind, Subquery, decompose, reset_query_ids
+from repro.query.model import (
+    PruneHint,
+    Query,
+    QueryKind,
+    Subquery,
+    decompose,
+    reset_query_ids,
+)
 from repro.query.oracle import RelevanceOracle
 
 __all__ = [
@@ -36,6 +43,7 @@ __all__ = [
     "ExecutionResult",
     "Merge",
     "PlanNode",
+    "PruneHint",
     "Query",
     "QueryExecutor",
     "Reassignment",

@@ -22,6 +22,27 @@ from repro.qos.vector import QoSRequirement, QoSWeights
 _QUERY_COUNTER = itertools.count()
 
 
+@dataclass(frozen=True)
+class PruneHint:
+    """Cutoffs an enclosing plan node pushes down into retrieval.
+
+    ``score_floor`` is a raw-score lower bound below which a match can
+    never survive the plan (only sound when calibrated probability equals
+    the clipped raw score); ``k_cap`` is the tightest enclosing ``TopK``
+    size.  Sources treat the hint as advisory: applying it must never
+    change the surviving (item, score) pairs, only skip work.
+    """
+
+    score_floor: float = 0.0
+    k_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score_floor <= 1.0:
+            raise ValueError("score_floor must be in [0, 1]")
+        if self.k_cap is not None and self.k_cap < 1:
+            raise ValueError("k_cap must be >= 1")
+
+
 class QueryKind(Enum):
     """What evidence a query carries."""
     SIMILARITY = "similarity"  # match against a reference item

@@ -12,6 +12,9 @@ Public API:
 - Calibration: :class:`BinnedCalibrator`,
   :func:`expected_calibration_error`, :func:`ranking_auc`,
   :func:`pool_adjacent_violators`.
+- Pruning: :class:`BlockBounds`, :class:`BoundStats`,
+  :class:`QueryBoundState`, :class:`PruneStats` — exactness-preserving
+  score upper bounds behind the pruned top-k rank path.
 - Results: :class:`UncertainMatch`, :class:`UncertainResultSet`,
   :func:`merge_all`.
 - Risk: :class:`RiskProfile`, :func:`risk_averse`, :func:`risk_neutral`,
@@ -37,6 +40,12 @@ from repro.uncertainty.matching import (
     MediaMatcher,
     TextMatcher,
     build_matching_engine,
+)
+from repro.uncertainty.pruning import (
+    BlockBounds,
+    BoundStats,
+    PruneStats,
+    QueryBoundState,
 )
 from repro.uncertainty.results import UncertainMatch, UncertainResultSet, merge_all
 from repro.uncertainty.risk import (
@@ -67,6 +76,8 @@ from repro.uncertainty.similarity import (
 
 __all__ = [
     "BinnedCalibrator",
+    "BlockBounds",
+    "BoundStats",
     "CalibrationReport",
     "CandidateBlock",
     "CompoundMatcher",
@@ -76,6 +87,8 @@ __all__ = [
     "EnsembleSimilarity",
     "MatchingEngine",
     "MediaMatcher",
+    "PruneStats",
+    "QueryBoundState",
     "RiskProfile",
     "SalientPart",
     "TextMatcher",

@@ -27,6 +27,7 @@ cs)[i]`` is bitwise equal to ``score(q, cs[i])``, so ``rank`` and
 
 from __future__ import annotations
 
+import heapq
 from bisect import bisect_left
 from collections import OrderedDict
 from typing import (
@@ -49,6 +50,7 @@ from repro.data.items import (
     TextDocument,
 )
 from repro.data.vocabulary import Vocabulary
+from repro.uncertainty.pruning import BlockBounds, PruneStats
 from repro.uncertainty.similarity import (
     bag_cosine,
     bag_norm,
@@ -66,6 +68,11 @@ if TYPE_CHECKING:
 #: default bound for per-item derived-state caches (vectors are tiny, so
 #: this is a few MB at most; long simulations stop leaking memory)
 DEFAULT_CACHE_SIZE = 8192
+
+#: histogram buckets for the fraction of candidates a pruned rank scored
+PRUNE_FRACTION_BUCKETS = (
+    0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+)
 
 
 class LruCache:
@@ -421,6 +428,8 @@ class CandidateBlock:
         self._media_matrix: Optional[np.ndarray] = None
         self._lift_matrix: Optional[np.ndarray] = None
         self._lift_norms: Optional[np.ndarray] = None
+        # Lazily built chunked score upper bounds (synced in bounds()).
+        self._bounds: Optional[BlockBounds] = None
         self.extend(items)
 
     def __len__(self) -> int:
@@ -461,6 +470,19 @@ class CandidateBlock:
         self._lift_matrix = None
         self._lift_norms = None
 
+    def bounds(self) -> BlockBounds:
+        """Chunked score upper bounds over the pool (built lazily).
+
+        The bounds object is extended in place to cover candidates
+        appended since the last call, so repeated ranks over a growing
+        block never re-derive per-item state.
+        """
+        if self._bounds is None:
+            self._bounds = BlockBounds(self.engine)
+        if len(self._bounds) < len(self.items):
+            self._bounds.extend(self.items[len(self._bounds):])
+        return self._bounds
+
     # -- lazily stacked matrices ----------------------------------------
     def _media_rows(self) -> np.ndarray:
         if self._media_matrix is None:
@@ -493,45 +515,66 @@ class CandidateBlock:
         ``engine.score(query, self.items[i])``.
         """
         n = len(self.items) if limit is None else min(limit, len(self.items))
-        if n <= 0:
+        return self.score_range(query, 0, n)
+
+    def score_range(
+        self, query: InformationItem, start: int, stop: int
+    ) -> np.ndarray:
+        """Scores against candidates at positions ``[start, stop)``.
+
+        ``scores[i]`` is bitwise equal to
+        ``engine.score(query, self.items[start + i])`` — the einsum
+        kernels compute each candidate's score with one fixed reduction,
+        so slicing the pool never changes a float.  This is what lets the
+        pruning rank path score surviving chunks in isolation and still
+        match the exhaustive path exactly.
+        """
+        start = max(0, start)
+        stop = min(stop, len(self.items))
+        if stop <= start:
             return np.zeros(0)
         if isinstance(query, CompoundObject):
-            return self.engine.compound.score_many(query, self.items[:n])
-        scores = np.zeros(n)
-        self._score_native(query, n, scores)
-        self._score_cross(query, n, scores)
-        compound_prefix = bisect_left(self._compound_positions, n)
-        if compound_prefix:
-            positions = self._compound_positions[:compound_prefix]
-            scores[positions] = self.engine.compound.score_many(
+            return self.engine.compound.score_many(query, self.items[start:stop])
+        scores = np.zeros(stop - start)
+        self._score_native(query, start, stop, scores)
+        self._score_cross(query, start, stop, scores)
+        lo = bisect_left(self._compound_positions, start)
+        hi = bisect_left(self._compound_positions, stop)
+        if hi > lo:
+            positions = self._compound_positions[lo:hi]
+            scores[[p - start for p in positions]] = self.engine.compound.score_many(
                 query, [self.items[p] for p in positions]
             )
         return scores
 
     def _score_native(
-        self, query: InformationItem, n: int, scores: np.ndarray
+        self, query: InformationItem, start: int, stop: int, scores: np.ndarray
     ) -> None:
         """Same-type scores (text/text term overlap, media/media features)."""
         if isinstance(query, TextDocument):
-            prefix = bisect_left(self._text_positions, n)
-            if prefix:
+            lo = bisect_left(self._text_positions, start)
+            hi = bisect_left(self._text_positions, stop)
+            if hi > lo:
                 query_bag, __ = self.engine.text._bag(query)
-                scores[self._text_positions[:prefix]] = batch_bag_cosine(
+                positions = [p - start for p in self._text_positions[lo:hi]]
+                scores[positions] = batch_bag_cosine(
                     query_bag,
-                    self._text_bags[:prefix],
-                    self._text_norms[:prefix],
+                    self._text_bags[lo:hi],
+                    self._text_norms[lo:hi],
                 )
         elif isinstance(query, MediaObject):
-            prefix = bisect_left(self._media_positions, n)
-            if prefix:
+            lo = bisect_left(self._media_positions, start)
+            hi = bisect_left(self._media_positions, stop)
+            if hi > lo:
                 media = self.engine.media
                 query_features = media._features(query)
-                scores[self._media_positions[:prefix]] = (
-                    1.0 + batch_dot_kernel(self._media_rows()[:prefix], query_features)
+                positions = [p - start for p in self._media_positions[lo:hi]]
+                scores[positions] = (
+                    1.0 + batch_dot_kernel(self._media_rows()[lo:hi], query_features)
                 ) / 2.0
 
     def _score_cross(
-        self, query: InformationItem, n: int, scores: np.ndarray
+        self, query: InformationItem, start: int, stop: int, scores: np.ndarray
     ) -> None:
         """Concept-space scores for mixed-type (non-compound) pairs."""
         if isinstance(query, TextDocument):
@@ -540,16 +583,17 @@ class CandidateBlock:
             native = _KIND_MEDIA
         else:
             native = -1  # plain base items always lift (and may TypeError)
-        prefix = bisect_left(self._noncompound_positions, n)
+        lo = bisect_left(self._noncompound_positions, start)
+        hi = bisect_left(self._noncompound_positions, stop)
         rows = [
-            j for j in range(prefix) if self._noncompound_kinds[j] != native
+            j for j in range(lo, hi) if self._noncompound_kinds[j] != native
         ]
         if not rows:
             return
         lifter = self.engine.cross.lifter
         query_lift, query_norm = lifter.lift_with_norm(query)
         matrix, norms = self._lift_rows()
-        positions = [self._noncompound_positions[j] for j in rows]
+        positions = [self._noncompound_positions[j] - start for j in rows]
         scores[positions] = batch_nonnegative_cosine(
             matrix[rows], norms[rows], query_lift, query_norm
         )
@@ -639,6 +683,87 @@ class MatchingEngine:
         ]
         return sorted(scored, key=lambda pair: (-pair[1], pair[0].item_id))
 
+    def rank_topk(
+        self,
+        query: InformationItem,
+        candidates: Sequence[InformationItem],
+        k: int,
+        score_floor: float = 0.0,
+    ) -> List[Tuple[InformationItem, float]]:
+        """Top-``k`` of :meth:`rank` without scoring hopeless candidates.
+
+        Returns exactly ``rank(query, candidates)[:k]`` (ids, order and
+        floats), minus entries under ``score_floor`` when one is given.
+        """
+        ranked, __ = self.rank_block_topk(
+            query, self.prepare(candidates), k, score_floor=score_floor
+        )
+        return ranked
+
+    def rank_block_topk(
+        self,
+        query: InformationItem,
+        block: CandidateBlock,
+        k: int,
+        limit: Optional[int] = None,
+        score_floor: float = 0.0,
+    ) -> Tuple[List[Tuple[InformationItem, float]], PruneStats]:
+        """Exactness-preserving pruned top-k over a prepared block.
+
+        Candidate chunks whose padded score ceiling falls strictly below
+        the running cutoff — the k-th best score seen so far, or the
+        pushed-down ``score_floor`` — are skipped outright; survivors are
+        scored by the same einsum kernels as :meth:`rank_block`.  The
+        result is bitwise identical to
+        ``rank_block(query, block, limit)[:k]`` with sub-floor entries
+        removed (the plan's ``Threshold`` would drop them anyway).
+
+        Chunks are visited in descending-ceiling order so the cutoff
+        tightens as early as possible; visit order cannot affect any
+        returned float because survivors' scores are exact.
+        """
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        n = len(block) if limit is None else min(limit, len(block))
+        self._observe_rank(max(n, 0))
+        stats = PruneStats(candidates_total=max(n, 0))
+        if n <= 0 or k == 0:
+            self._observe_prune(stats)
+            return [], stats
+        bounds = block.bounds()
+        state = bounds.query_state(query)
+        stats.prunable = state is not None
+        ranges = bounds.chunk_ranges(n)
+        stats.chunks_total = len(ranges)
+        ceilings = [chunk.ceiling(state) for __, __, chunk in ranges]
+        order = sorted(range(len(ranges)), key=lambda c: (-ceilings[c], c))
+        heap: List[float] = []  # min-heap of the k best scores so far
+        scored: List[Tuple[int, float]] = []
+        for index in order:
+            ceiling = ceilings[index]
+            if (score_floor > 0.0 and ceiling < score_floor) or (
+                len(heap) == k and ceiling < heap[0]
+            ):
+                stats.chunks_skipped += 1
+                continue
+            start, stop, __ = ranges[index]
+            row = block.score_range(query, start, stop)
+            for offset, value in enumerate(row):
+                score = float(value)
+                scored.append((start + offset, score))
+                if len(heap) < k:
+                    heapq.heappush(heap, score)
+                elif score > heap[0]:
+                    heapq.heapreplace(heap, score)
+        stats.candidates_scored = len(scored)
+        pairs = [(block.items[p], s) for p, s in scored]
+        pairs.sort(key=lambda pair: (-pair[1], pair[0].item_id))
+        top = pairs[:k]
+        if score_floor > 0.0:
+            top = [(item, s) for item, s in top if s >= score_floor]
+        self._observe_prune(stats)
+        return top, stats
+
     def rank_pairwise(
         self, query: InformationItem, candidates: Sequence[InformationItem]
     ) -> List[Tuple[InformationItem, float]]:
@@ -650,12 +775,55 @@ class MatchingEngine:
         scored = [(item, self.score(query, item)) for item in candidates]
         return sorted(scored, key=lambda pair: (-pair[1], pair[0].item_id))
 
+    def observe_domain_skip(self, n_candidates: int) -> PruneStats:
+        """Record a whole-domain ceiling skip (no chunk even inspected).
+
+        Sources call this when their cached per-domain
+        :class:`~repro.uncertainty.pruning.BoundStats` ceiling already
+        proves no visible candidate can reach the pushed-down floor.
+        """
+        stats = PruneStats(
+            candidates_total=n_candidates,
+            candidates_scored=0,
+            chunks_total=0,
+            chunks_skipped=0,
+            prunable=True,
+            domain_skipped=True,
+        )
+        self._observe_prune(stats)
+        if self._metrics is not None:
+            self._metrics.counter("matching.prune.domain_skips").inc()
+        return stats
+
     def _observe_rank(self, batch_size: int) -> None:
         if self._metrics is not None:
             self._metrics.counter("matching.rank_calls").inc()
             self._metrics.histogram("matching.rank_batch_size").observe(
                 float(batch_size)
             )
+
+    def _observe_prune(self, stats: PruneStats) -> None:
+        """Mirror one pruned rank call's pruning ratios into metrics."""
+        if self._metrics is None:
+            return
+        self._metrics.counter("matching.prune.calls").inc()
+        if not stats.prunable:
+            self._metrics.counter("matching.prune.fallback_calls").inc()
+        self._metrics.counter("matching.prune.candidates_total").inc(
+            float(stats.candidates_total)
+        )
+        self._metrics.counter("matching.prune.candidates_scored").inc(
+            float(stats.candidates_scored)
+        )
+        self._metrics.counter("matching.prune.chunks_total").inc(
+            float(stats.chunks_total)
+        )
+        self._metrics.counter("matching.prune.chunks_skipped").inc(
+            float(stats.chunks_skipped)
+        )
+        self._metrics.histogram(
+            "matching.prune.scored_fraction", buckets=PRUNE_FRACTION_BUCKETS
+        ).observe(stats.scored_fraction)
 
 
 def build_matching_engine(

@@ -1,7 +1,10 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.data import (
     CorpusGenerator,
@@ -15,6 +18,26 @@ from repro.query import Query, QueryKind, RelevanceOracle
 from repro.sim import RngStreams
 from repro.sources import InformationSource, SourceQuality
 from repro.uncertainty import build_matching_engine
+
+
+# Hypothesis runs under pinned, derandomized profiles so the property
+# suites are reproducible everywhere: "ci" (the default) replays the same
+# deterministic example sequence on every machine, "dev" is a smaller
+# subset for quick local loops.  Select with HYPOTHESIS_PROFILE=dev.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    derandomize=True,
+    deadline=None,
+    max_examples=20,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 
 @pytest.fixture(autouse=True)

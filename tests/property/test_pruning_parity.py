@@ -1,0 +1,357 @@
+"""Property tests: bound-pruned ranking is *exactly* the exhaustive path.
+
+The pruning layer promises exactness, not approximation: every result a
+``rank_topk``/pruned source answer/pruned plan execution produces must be
+bitwise-identical (ids, order, floats) to the one the exhaustive
+``rank_pairwise`` oracle produces — pruning may only skip work that
+provably cannot change the answer.
+
+The worlds generated here are deliberately adversarial: zero-term
+documents (zero bag vectors), cloned documents (exact duplicate scores),
+term-disjoint pools under a high floor (every chunk pruned), cutoffs
+placed exactly on an achieved score (ties at the threshold), and live
+ingest interleaved between queries (bound caches extended and rebuilt
+mid-sequence).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CorpusGenerator,
+    DomainSpec,
+    FeatureExtractor,
+    TextDocument,
+    TopicSpace,
+    Vocabulary,
+)
+from repro.query import (
+    ExecutionContext,
+    PruneHint,
+    Query,
+    QueryExecutor,
+    QueryKind,
+    RelevanceOracle,
+    Retrieve,
+    standard_plan,
+)
+from repro.sim import RngStreams
+from repro.sources import InformationSource, SourceQuality, SourceRegistry
+
+pytestmark = [pytest.mark.property, pytest.mark.slow]
+
+POOL_SIZE = 48
+
+
+@pytest.fixture(scope="module")
+def pruning_world():
+    """A fixed mixed-type item pool plus a fitted engine."""
+    from repro.uncertainty import build_matching_engine
+
+    streams = RngStreams(seed=606).spawn("pruning")
+    space = TopicSpace(8)
+    vocabulary = Vocabulary(
+        space, streams.spawn("v"), vocabulary_size=400, terms_per_topic=50
+    )
+    corpus = CorpusGenerator(
+        space, vocabulary, streams.spawn("c"), feature_dimensions=16
+    )
+    extractor = FeatureExtractor(16, streams.spawn("f"))
+
+    def spec(name, mix, prior=None):
+        return DomainSpec(
+            name=name,
+            topic_prior=prior or {"folk-jewelry": 0.6, "dance-forms": 0.4},
+            type_mix=mix,
+            concentration=0.4,
+        )
+
+    sample = corpus.generate(
+        spec("sample", {"text": 0.0, "media": 1.0, "compound": 0.0}), 40
+    )
+    engine = build_matching_engine(vocabulary, extractor, lifter_sample=sample)
+    pool = corpus.generate(
+        spec("pool", {"text": 0.4, "media": 0.4, "compound": 0.2}), POOL_SIZE
+    )
+    off_topic = corpus.generate(
+        spec(
+            "pool",
+            {"text": 1.0, "media": 0.0, "compound": 0.0},
+            prior={"tourism": 1.0},
+        ),
+        24,
+    )
+    queries = corpus.generate(
+        spec("query", {"text": 0.5, "media": 0.3, "compound": 0.2}), 8
+    )
+    return engine, pool, off_topic, queries, vocabulary, space
+
+
+def _clone(doc: TextDocument, index: int) -> TextDocument:
+    """Same content under a fresh id — guarantees exact duplicate scores."""
+    return TextDocument(
+        item_id=f"dup-{index}-{doc.item_id}",
+        domain=doc.domain,
+        latent=doc.latent,
+        terms=dict(doc.terms),
+    )
+
+
+def _zero_doc(index: int) -> TextDocument:
+    """A document with an empty term bag (zero text vector)."""
+    return TextDocument(
+        item_id=f"zero-{index}", domain="pool", latent=np.zeros(2), terms={}
+    )
+
+
+def _probe_query(space, vocabulary, tag, seed, k, length=50, threshold=0.0):
+    """A topic-style query with a *stable* evidence item.
+
+    ``Query.evidence_item()`` normally mints a fresh item id per call;
+    the autouse ``_reset_ids`` fixture resets that counter per test while
+    the module-scoped engine caches per item id — pinning a uniquely
+    prefixed reference item keeps ids collision-free across examples.
+    """
+    rng = np.random.default_rng(seed)
+    intent = space.basis("folk-jewelry", weight=0.9)
+    terms = vocabulary.sample_terms(intent, rng, length=length)
+    probe = TextDocument(
+        item_id=f"probe-{tag}", domain="query", latent=intent, terms=terms
+    )
+    return Query(
+        kind=QueryKind.SIMILARITY,
+        reference_item=probe,
+        k=k,
+        threshold=threshold,
+        intent_latent=intent,
+    )
+
+
+def _expected(engine, query, candidates, k, floor):
+    """The oracle: exhaustive pairwise rank, cut at k, floor-filtered."""
+    top = engine.rank_pairwise(query, candidates)[:k]
+    if floor > 0.0:
+        top = [(item, s) for item, s in top if s >= floor]
+    return top
+
+
+def _assert_bitwise(actual, expected):
+    assert [i.item_id for i, __ in actual] == [i.item_id for i, __ in expected]
+    assert [s for __, s in actual] == [s for __, s in expected]  # bitwise
+
+
+class TestTopkPairwiseParity:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        indices=st.lists(
+            st.integers(min_value=0, max_value=POOL_SIZE - 1),
+            min_size=0, max_size=36,
+        ),
+        clones=st.lists(
+            st.integers(min_value=0, max_value=POOL_SIZE - 1),
+            min_size=0, max_size=6,
+        ),
+        zeros=st.integers(min_value=0, max_value=3),
+        query_index=st.integers(min_value=0, max_value=7),
+        k=st.integers(min_value=1, max_value=14),
+        floor=st.sampled_from([0.0, 0.3, 0.6, 0.97]),
+    )
+    def test_topk_matches_pairwise_exactly(
+        self, pruning_world, indices, clones, zeros, query_index, k, floor
+    ):
+        """Pruned top-k == pairwise oracle on pools with duplicates/zeros."""
+        engine, pool, __, queries, *_ = pruning_world
+        candidates = [pool[i] for i in indices]
+        candidates += [
+            _clone(pool[i], j)
+            for j, i in enumerate(clones)
+            if isinstance(pool[i], TextDocument)
+        ]
+        candidates += [_zero_doc(j) for j in range(zeros)]
+        query = queries[query_index]
+        actual = engine.rank_topk(query, candidates, k, score_floor=floor)
+        _assert_bitwise(actual, _expected(engine, query, candidates, k, floor))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        query_index=st.integers(min_value=0, max_value=7),
+        cut_position=st.integers(min_value=0, max_value=POOL_SIZE - 1),
+        k_offset=st.integers(min_value=-2, max_value=2),
+    )
+    def test_cutoff_exactly_on_achieved_score(
+        self, pruning_world, query_index, cut_position, k_offset
+    ):
+        """Floor and k placed exactly on an achieved (possibly tied) score."""
+        engine, pool, __, queries, *_ = pruning_world
+        query = queries[query_index]
+        full = engine.rank_pairwise(query, pool)
+        floor = full[cut_position][1]  # cutoff lands exactly on a score
+        k = max(1, cut_position + 1 + k_offset)
+        actual = engine.rank_topk(query, pool, k, score_floor=floor)
+        _assert_bitwise(actual, _expected(engine, query, pool, k, floor))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_candidates=st.integers(min_value=1, max_value=24),
+        k=st.integers(min_value=1, max_value=8),
+        query_index=st.integers(min_value=0, max_value=7),
+    )
+    def test_all_pruned_block_returns_empty(
+        self, pruning_world, n_candidates, k, query_index
+    ):
+        """Term-disjoint pools under a high floor prune every chunk."""
+        engine, __, off_topic, ___, vocabulary, space = pruning_world
+        query = _probe_query(
+            space, vocabulary, f"ap-{query_index}", seed=100 + query_index,
+            k=k, length=40,
+        ).evidence_item()
+        candidates = off_topic[:n_candidates]
+        ranked, stats = engine.rank_block_topk(
+            query, engine.prepare(candidates), k, score_floor=0.995
+        )
+        _assert_bitwise(ranked, _expected(engine, query, candidates, k, 0.995))
+        # Off-topic text shares few terms with the query; the bound must
+        # prune at least the disjoint chunks, and whatever it scored must
+        # still produce the oracle answer (asserted above).
+        assert stats.candidates_scored <= stats.candidates_total
+        if stats.candidates_scored == 0:
+            assert ranked == []
+
+
+class TestSourceLiveIngestParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        batches=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10),  # ingest batch size
+                st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=80.0, allow_nan=False),
+                st.sampled_from([0.0, 0.4, 0.7]),        # pushed-down floor
+            ),
+            min_size=1, max_size=5,
+        ),
+        seed=st.integers(min_value=0, max_value=2**16),
+        error_rate=st.sampled_from([0.0, 0.25]),
+    )
+    def test_twin_sources_agree_over_ingest_sequences(
+        self, pruning_world, batches, seed, error_rate
+    ):
+        """Pruning-on and pruning-off twins answer identically, always.
+
+        The twins share content, seeds and engine; the only difference is
+        the rank path.  Every answer must match bitwise *and* match the
+        pairwise oracle over the visible items — across cache extends,
+        rebuilds, and floors arriving mid-sequence.
+        """
+        engine, pool, __, ___, vocabulary, space = pruning_world
+        query = _probe_query(space, vocabulary, f"twin-{seed}", seed=seed, k=5)
+        subquery = query.restricted_to("pool")
+        twins = {}
+        for pruning in (True, False):
+            # Same source_id on purpose: the source RNG scope keys on it,
+            # so the twins draw identical coverage/lag/corruption streams.
+            twins[pruning] = InformationSource(
+                source_id=f"twin-{seed}",
+                node_id="n0",
+                domains=["pool"],
+                quality=SourceQuality(
+                    coverage=1.0, freshness_lag=10.0, error_rate=error_rate,
+                ),
+                engine=engine,
+                streams=RngStreams(seed=seed).spawn("twin"),
+                pruning=pruning,
+            )
+        cursor = 0
+        for size, ingest_now, probe_now, floor in batches:
+            chunk = pool[cursor:cursor + size]
+            cursor += size
+            hint = PruneHint(score_floor=floor, k_cap=subquery.k)
+            answers = {}
+            for pruning, source in sorted(twins.items()):
+                source.ingest(chunk, now=ingest_now)
+                answers[pruning] = source.answer(
+                    subquery, now=probe_now, prune=hint
+                )
+            _assert_bitwise(answers[True].matches, answers[False].matches)
+            assert (
+                answers[True].candidates_scored
+                <= answers[True].candidates_scanned
+            )
+            assert answers[True].service_time == answers[False].service_time
+            if error_rate == 0.0:
+                visible = twins[True].visible_items(probe_now, "pool")
+                expected = _expected(
+                    engine, subquery.evidence_item(), visible, subquery.k, floor
+                )
+                _assert_bitwise(answers[True].matches, expected)
+
+
+class TestPlanExecutionParity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=8),
+        tau_choice=st.sampled_from(["zero", "mid", "achieved"]),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_pruned_plan_equals_exhaustive_plan(
+        self, pruning_world, k, tau_choice, seed
+    ):
+        """Full Threshold+TopK plans deliver bitwise-identical results."""
+        engine, pool, off_topic, __, vocabulary, space = pruning_world
+        if tau_choice == "achieved":
+            base = _probe_query(space, vocabulary, f"plan-{seed}", seed=seed, k=k)
+            ranked = engine.rank_pairwise(base.evidence_item(), pool)
+            tau = float(np.clip(ranked[min(k, len(ranked) - 1)][1], 0.0, 1.0))
+        else:
+            tau = {"zero": 0.0, "mid": 0.5}[tau_choice]
+        results = {}
+        for pruning in (True, False):
+            query = _probe_query(
+                space, vocabulary, f"plan-{seed}", seed=seed, k=k, threshold=tau
+            )
+            registry = SourceRegistry()
+            leaves = []
+            for domain, items in (("pool", pool), ("thesis", off_topic)):
+                source = InformationSource(
+                    source_id=f"exec-{domain}-{pruning}",
+                    node_id=f"n-{domain}",
+                    domains=[domain],
+                    quality=SourceQuality(
+                        coverage=1.0, freshness_lag=0.0, error_rate=0.0,
+                    ),
+                    engine=engine,
+                    streams=RngStreams(seed=seed).spawn(f"exec-{domain}"),
+                    pruning=pruning,
+                )
+                source.ingest(items, now=0.0, immediate=True)
+                registry.register(source)
+                leaves.append(
+                    Retrieve(
+                        subquery=query.restricted_to(domain),
+                        source_id=source.source_id,
+                    )
+                )
+            plan = standard_plan(leaves, k=query.k, tau=query.threshold)
+            executor = QueryExecutor(
+                ExecutionContext(
+                    registry=registry, oracle=RelevanceOracle(space), now=5.0
+                )
+            )
+            results[pruning] = executor.execute(plan, query)
+        pruned, exhaustive = results[True], results[False]
+        a = [
+            (m.item.item_id, m.score, m.probability)
+            for m in pruned.results.matches
+        ]
+        b = [
+            (m.item.item_id, m.score, m.probability)
+            for m in exhaustive.results.matches
+        ]
+        assert a == b  # ids, order, floats — bitwise
+        assert pruned.response_time == exhaustive.response_time
+        assert all(
+            ans.candidates_scored <= ans.candidates_scanned
+            for ans in pruned.answers
+        )
