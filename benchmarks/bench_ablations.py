@@ -109,7 +109,7 @@ def run_a2(encounters=60) -> ExperimentResult:
         "multi-issue (price+QoS)": standard_qos_issue_space(max_price=10.0),
         "price-only": IssueSpace([Issue("price", 0.0, 10.0)]),
     }
-    for label, space in spaces.items():
+    for label, space in sorted(spaces.items()):
         mediator = Mediator(space, RngStreams(SEED).spawn(f"a2-{label}"),
                             proposals=150)
         deals, joints, mediated, potentials = [], [], [], []

@@ -43,7 +43,7 @@ def _build_community(agora, n_per_cluster=5, noise=0.25):
     store = ProfileStore()
     graph = SocialGraph()
     members = {name: [] for name in clusters}
-    for cluster_name, centre in clusters.items():
+    for cluster_name, centre in sorted(clusters.items()):
         for index in range(n_per_cluster):
             interests = np.clip(
                 centre + rng.normal(0, noise, size=space.n_topics), 1e-6, None,
@@ -97,7 +97,7 @@ def run_t7(seed=47, queries_per_user=4) -> ExperimentResult:
     }
     ndcg = {name: [] for name in conditions}
     all_profiles = [store.load(uid) for uid in store.user_ids()]
-    for cluster_profiles in members.values():
+    for _, cluster_profiles in sorted(members.items()):
         for profile in cluster_profiles[:3]:
             consumer = Consumer(agora, profile, planner="greedy")
             for __ in range(queries_per_user):

@@ -1,0 +1,55 @@
+"""Interprocedural effect analysis and the shard-safety contract.
+
+Builds a project-wide call graph, infers per-function effect summaries,
+propagates them to a fixpoint (:mod:`.fixpoint`), certifies the
+``# agora: shard-safe`` declared set (rules AGR101-AGR104,
+:mod:`.rules`), and emits the byte-stable ``shard_safety.json``
+attestation manifest (:mod:`.manifest`) that the multi-worker scale-out
+consumes before dispatching work.
+
+Run it as ``python -m repro.analysis effects [paths...]``.
+"""
+
+from repro.analysis.effects.cli import main as effects_cli
+from repro.analysis.effects.fixpoint import EffectAnalysis, EffectsResult, analyse
+from repro.analysis.effects.manifest import (
+    ShardSafetyManifest,
+    build_manifest,
+    diff_manifests,
+    render_manifest,
+    write_manifest,
+)
+from repro.analysis.effects.model import (
+    MUTATES_SHARED,
+    PURE,
+    READS_SHARED,
+    UNKNOWN,
+    Effect,
+)
+from repro.analysis.effects.project import ProjectIndex
+from repro.analysis.effects.rules import (
+    EFFECTS_RULE_IDS,
+    build_report,
+    effects_violations,
+)
+
+__all__ = [
+    "EFFECTS_RULE_IDS",
+    "MUTATES_SHARED",
+    "PURE",
+    "READS_SHARED",
+    "UNKNOWN",
+    "Effect",
+    "EffectAnalysis",
+    "EffectsResult",
+    "ProjectIndex",
+    "ShardSafetyManifest",
+    "analyse",
+    "build_manifest",
+    "build_report",
+    "diff_manifests",
+    "effects_cli",
+    "effects_violations",
+    "render_manifest",
+    "write_manifest",
+]

@@ -1,0 +1,144 @@
+"""``python -m repro.analysis effects`` — the shard-safety certifier.
+
+Runs the interprocedural effect pass, reports AGR10x violations through
+the standard reporters, and (optionally) writes / checks the
+byte-stable ``shard_safety.json`` manifest.  Exit code 0 means the
+declared shard-safe set certifies clean and, when ``--check`` is given,
+the manifest matches the committed baseline byte for byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.analysis.effects.fixpoint import EffectsResult, analyse
+from repro.analysis.effects.manifest import (
+    build_manifest,
+    diff_manifests,
+    render_manifest,
+)
+from repro.analysis.effects.project import SHARD_SAFE, ProjectIndex
+from repro.analysis.effects.rules import RULE_DOCS, build_report
+from repro.analysis.reporting import render_json, render_text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis effects",
+        description=(
+            "Interprocedural effect analysis: certify # agora: shard-safe "
+            "paths (rules AGR101-AGR104) and emit the shard_safety.json "
+            "attestation manifest."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyse (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="write the shard-safety manifest to PATH",
+    )
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="BASELINE",
+        help=(
+            "compare the freshly built manifest byte-for-byte against "
+            "BASELINE and fail on drift"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the AGR10x rule table and exit",
+    )
+    return parser
+
+
+def _verdict_lines(result: EffectsResult) -> str:
+    lines = ["declared shard-safe roots:"]
+    roots = result.index.declared(SHARD_SAFE)
+    if not roots:
+        lines.append("  (none)")
+    for func in roots:
+        verdict = result.verdicts.get(func.qualname, "?")
+        lines.append(f"  {func.qualname}: {verdict}")
+    counts: dict = {}
+    for verdict in result.verdicts.values():
+        counts[verdict] = counts.get(verdict, 0) + 1
+    summary = ", ".join(
+        f"{verdict}={counts[verdict]}" for verdict in sorted(counts)
+    )
+    lines.append(
+        f"{len(result.verdicts)} functions analysed in "
+        f"{result.iterations} fixpoint steps ({summary})"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the certifier; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        lines = []
+        for rule_id in sorted(RULE_DOCS):
+            title, rationale = RULE_DOCS[rule_id]
+            lines.append(f"{rule_id}  {title}")
+            lines.append(f"        {rationale}")
+        print("\n".join(lines))
+        return 0
+
+    index = ProjectIndex.build(args.paths)
+    result = analyse(index)
+    report = build_report(result)
+    payload = build_manifest(result)
+
+    ok = report.ok
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+        print(_verdict_lines(result))
+
+    if args.manifest is not None:
+        Path(args.manifest).write_text(
+            render_manifest(payload), encoding="utf-8"
+        )
+
+    if args.check is not None:
+        baseline_path = Path(args.check)
+        if not baseline_path.exists():
+            print(f"manifest baseline missing: {baseline_path}")
+            ok = False
+        else:
+            baseline_text = baseline_path.read_text(encoding="utf-8")
+            fresh_text = render_manifest(payload)
+            if baseline_text != fresh_text:
+                print(f"shard-safety manifest drifted from {baseline_path}:")
+                try:
+                    baseline_payload = json.loads(baseline_text)
+                except ValueError:
+                    baseline_payload = {}
+                for line in diff_manifests(baseline_payload, payload)[:50]:
+                    print(f"  {line}")
+                print(
+                    "  (refresh with: python -m repro.analysis effects "
+                    f"src/repro --manifest {baseline_path})"
+                )
+                ok = False
+
+    return 0 if ok else 1

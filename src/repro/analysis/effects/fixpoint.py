@@ -1,0 +1,261 @@
+"""Interprocedural fixpoint over per-function effect summaries.
+
+Each function starts from its intraprocedural atoms (:mod:`.local`) and
+repeatedly absorbs the *exported* summaries of its resolved callees,
+mapping receiver- and argument-confined effects through the call site's
+provenance, until nothing changes.  The lattice is finite (atoms are
+drawn from the project's finite set of local atoms, chains only ever
+shrink toward the minimum), so the iteration terminates at the unique
+least fixpoint regardless of processing order; a sorted worklist keeps
+the trajectory deterministic too.
+
+A ``# agora: worker-local <reason>`` declaration filters the exported
+view: self-confined writes, memo decorators, and RNG draws are attested
+as per-worker-replicable and replaced by a synthetic instance-state
+read, capping the declared function at ``READS_SHARED``.  Global
+writes, I/O, wall-clock reads, and unresolved calls are *not*
+trustable and always propagate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.effects.local import scan_function
+from repro.analysis.effects.model import (
+    CALLS_PARAM,
+    READ_SELF,
+    TRUSTABLE_KINDS,
+    UNRESOLVED_CALL,
+    WRITE_ARG,
+    WRITE_SELF,
+    Actual,
+    CallSite,
+    Effect,
+    Summary,
+    map_read,
+    map_write,
+    merge_effect,
+    summary_verdict,
+)
+from repro.analysis.effects.project import (
+    WORKER_LOCAL,
+    FunctionInfo,
+    ProjectIndex,
+)
+
+_MAX_ITERATIONS = 10_000
+
+
+@dataclass
+class EffectsResult:
+    """Everything the fixpoint produced."""
+
+    index: ProjectIndex
+    #: raw (pre-trust) summaries per qualname
+    summaries: Dict[str, Summary] = field(default_factory=dict)
+    #: post-trust summaries per qualname — what callers and the manifest see
+    exported: Dict[str, Summary] = field(default_factory=dict)
+    #: verdict of the exported summary
+    verdicts: Dict[str, str] = field(default_factory=dict)
+    #: qualnames whose worker-local declaration actually dropped atoms
+    trusted: Dict[str, bool] = field(default_factory=dict)
+    #: worker-local declarations that dropped nothing (stale, AGR104)
+    stale_declarations: List[str] = field(default_factory=list)
+    iterations: int = 0
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        """Registry record for ``qualname``."""
+        return self.index.functions.get(qualname)
+
+
+class EffectAnalysis:
+    """Drives local scanning and the interprocedural fixpoint."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self._calls: Dict[str, List[CallSite]] = {}
+        self._base: Dict[str, List[Effect]] = {}
+        self._summaries: Dict[str, Summary] = {}
+        self._versions: Dict[str, int] = {}
+        self._export_cache: Dict[str, Tuple[int, Summary]] = {}
+        self._callers: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> EffectsResult:
+        """Scan every function and iterate to the fixpoint."""
+        order = sorted(self.index.functions)
+        for qualname in order:
+            func = self.index.functions[qualname]
+            scanned = scan_function(func, self.index)
+            self._base[qualname] = list(scanned.atoms)
+            self._calls[qualname] = list(scanned.calls)
+            self._summaries[qualname] = {atom: () for atom in scanned.atoms}
+            self._versions[qualname] = 0
+        for qualname in order:
+            for site in self._calls[qualname]:
+                for target in site.targets:
+                    self._callers.setdefault(target, set()).add(qualname)
+                for _, actual in site.actuals:
+                    if actual.func_ref:
+                        self._callers.setdefault(actual.func_ref, set()).add(
+                            qualname
+                        )
+
+        worklist: Set[str] = set(order)
+        iterations = 0
+        while worklist:
+            iterations += 1
+            if iterations > _MAX_ITERATIONS:  # pragma: no cover - safety net
+                raise RuntimeError("effect fixpoint failed to converge")
+            qualname = min(worklist)
+            worklist.discard(qualname)
+            if self._recompute(qualname):
+                for caller in self._callers.get(qualname, ()):
+                    worklist.add(caller)
+
+        result = EffectsResult(index=self.index, iterations=iterations)
+        for qualname in order:
+            summary = self._summaries[qualname]
+            exported = self._exported(qualname)
+            result.summaries[qualname] = dict(summary)
+            result.exported[qualname] = dict(exported)
+            result.verdicts[qualname] = summary_verdict(exported)
+            func = self.index.functions[qualname]
+            declared_local = (
+                func.annotation is not None
+                and func.annotation.kind == WORKER_LOCAL
+            )
+            dropped = declared_local and any(
+                effect.kind in TRUSTABLE_KINDS for effect in summary
+            )
+            result.trusted[qualname] = dropped
+            if declared_local and not dropped:
+                result.stale_declarations.append(qualname)
+        result.stale_declarations.sort()
+        return result
+
+    # ------------------------------------------------------------------
+    def _recompute(self, qualname: str) -> bool:
+        """Re-absorb callee summaries into ``qualname``; True if changed."""
+        summary = self._summaries[qualname]
+        changed = False
+        for atom in self._base[qualname]:
+            changed |= merge_effect(summary, atom, ())
+        for site in self._calls[qualname]:
+            for target in site.targets:
+                callee_summary = self._exported(target)
+                changed |= self._absorb(
+                    summary, site, target, callee_summary
+                )
+        if changed:
+            self._versions[qualname] += 1
+        return changed
+
+    def _absorb(
+        self,
+        summary: Summary,
+        site: CallSite,
+        callee: str,
+        callee_summary: Summary,
+    ) -> bool:
+        changed = False
+        for effect, chain in sorted(
+            callee_summary.items(), key=lambda pair: (pair[0], pair[1])
+        ):
+            new_chain = (callee,) + chain
+            for mapped in self._map_effect(effect, site):
+                changed |= merge_effect(summary, mapped, new_chain)
+        return changed
+
+    def _map_effect(self, effect: Effect, site: CallSite) -> List[Effect]:
+        """Translate one callee atom through the call-site provenance."""
+        if effect.kind == WRITE_SELF:
+            mapped = map_write(site.receiver, effect.reason, effect.origin)
+            return [mapped] if mapped is not None else []
+        if effect.kind == READ_SELF:
+            mapped = map_read(site.receiver, effect.reason, effect.origin)
+            return [mapped] if mapped is not None else []
+        if effect.kind == WRITE_ARG:
+            actual = site.actual_for(effect.detail)
+            mapped = map_write(actual.prov, effect.reason, effect.origin)
+            return [mapped] if mapped is not None else []
+        if effect.kind == CALLS_PARAM:
+            return self._map_higher_order(effect, site)
+        return [effect]
+
+    def _map_higher_order(self, effect: Effect, site: CallSite) -> List[Effect]:
+        actual = site.actual_for(effect.detail)
+        if actual.is_inline_callable:
+            # the lambda / nested def body was attributed to the caller
+            # at its definition site; nothing further to add
+            return []
+        if actual.func_ref:
+            return self._flatten_func_ref(effect, actual)
+        return [
+            Effect(
+                UNRESOLVED_CALL,
+                f"higher-order call through parameter '{effect.detail}' "
+                "with an unresolvable actual",
+                effect.origin,
+                detail=effect.detail,
+            )
+        ]
+
+    def _flatten_func_ref(self, effect: Effect, actual: Actual) -> List[Effect]:
+        """Absorb a by-reference project function passed as the actual."""
+        mapped: List[Effect] = []
+        pseudo = CallSite(
+            lineno=0, targets=(actual.func_ref,), receiver=actual.prov
+        )
+        for callee_effect in sorted(self._exported(actual.func_ref)):
+            if callee_effect.kind == CALLS_PARAM:
+                mapped.append(
+                    Effect(
+                        UNRESOLVED_CALL,
+                        "higher-order chain through "
+                        f"'{actual.func_ref}' exceeds tracking depth",
+                        callee_effect.origin,
+                    )
+                )
+                continue
+            mapped.extend(self._map_effect(callee_effect, pseudo))
+        return mapped
+
+    # ------------------------------------------------------------------
+    def _exported(self, qualname: str) -> Summary:
+        """Trust-filtered view of ``qualname``'s summary."""
+        summary = self._summaries.get(qualname)
+        if summary is None:
+            return {}
+        func = self.index.functions[qualname]
+        if func.annotation is None or func.annotation.kind != WORKER_LOCAL:
+            return summary
+        version = self._versions[qualname]
+        cached = self._export_cache.get(qualname)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        filtered: Summary = {
+            effect: chain
+            for effect, chain in summary.items()
+            if effect.kind not in TRUSTABLE_KINDS
+        }
+        if len(filtered) != len(summary):
+            reason = func.annotation.reason or "worker-local state"
+            merge_effect(
+                filtered,
+                Effect(
+                    READ_SELF,
+                    f"declared worker-local: {reason}",
+                    qualname,
+                ),
+                (),
+            )
+        self._export_cache[qualname] = (version, filtered)
+        return filtered
+
+
+def analyse(index: ProjectIndex) -> EffectsResult:
+    """Run the full effect analysis over a built project index."""
+    return EffectAnalysis(index).run()

@@ -1,0 +1,961 @@
+"""Intraprocedural effect extraction: one function → atoms + call sites.
+
+The scanner walks a function body (nested defs and lambdas included —
+their effects are attributed to the enclosing function, which
+over-approximates but never under-approximates), tracking a
+flow-insensitive provenance map for local names so that writes and
+method calls can be classified as fresh / self-rooted / parameter /
+global.  Everything it cannot bound becomes an
+:data:`~.model.UNRESOLVED_CALL` poison atom rather than a silent pass.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.effects import resolve as tables
+from repro.analysis.effects.model import (
+    FRESH,
+    IO,
+    MEMO,
+    PROV_FRESH,
+    PROV_PARAM,
+    RNG_DRAW,
+    SELF,
+    UNKNOWN_PROV,
+    UNRESOLVED_CALL,
+    WALL_CLOCK,
+    Actual,
+    CallSite,
+    Effect,
+    LocalResult,
+    Prov,
+    join_prov,
+    map_write,
+)
+from repro.analysis.effects.project import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
+
+#: method calls whose result is a fresh value (not an alias of the receiver)
+_FRESH_RESULT_METHODS = frozenset(
+    {
+        "copy", "deepcopy", "tolist", "astype", "most_common", "split",
+        "rsplit", "splitlines", "strip", "lstrip", "rstrip", "lower",
+        "upper", "join", "format", "replace", "encode", "decode",
+        "digest", "hexdigest", "isoformat", "keys", "items", "values",
+    }
+)
+
+_DISPLAY_NODES = (
+    ast.Constant,
+    ast.List,
+    ast.Tuple,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+    ast.JoinedStr,
+    ast.FormattedValue,
+    ast.Lambda,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Compare,
+)
+
+
+class FunctionScanner:
+    """Extracts the local effect summary of one project function."""
+
+    def __init__(
+        self, func: FunctionInfo, index: ProjectIndex, module: ModuleInfo
+    ) -> None:
+        self.func = func
+        self.index = index
+        self.module = module
+        self.ctx = module.ctx
+        self.result = LocalResult()
+        self._atom_keys: Set[Effect] = set()
+        self._global_decls: Set[str] = set()
+        self._nonlocal_decls: Set[str] = set()
+        self._bindings: Dict[str, List[ast.expr]] = {}
+        self._inline_callables: Set[str] = set()
+        self._prov_cache: Dict[str, Prov] = {}
+        self._prov_stack: Set[str] = set()
+        self._type_cache: Dict[str, Tuple[str, ...]] = {}
+        self._type_stack: Set[str] = set()
+        self._call_funcs: Set[int] = set()
+        self._read_self_seen = False
+
+    # ------------------------------------------------------------------
+    def run(self) -> LocalResult:
+        node = self.func.node
+        if self.func.has_memo_decorator:
+            self._add(
+                Effect(
+                    MEMO,
+                    "memoises results on the shared function object",
+                    self.func.qualname,
+                )
+            )
+        for name in self.func.unknown_decorators:
+            self._add(
+                Effect(
+                    UNRESOLVED_CALL,
+                    f"wrapped by unresolved decorator @{name}",
+                    self.func.qualname,
+                    detail=name,
+                )
+            )
+        self._collect_bindings(node)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                self._call_funcs.add(id(sub.func))
+        for sub in ast.walk(node):
+            self._scan_node(sub)
+        self.result.calls.sort(key=lambda site: (site.lineno, site.targets))
+        return self.result
+
+    # -- binding collection ---------------------------------------------
+    def _collect_bindings(self, root: ast.AST) -> None:
+        for sub in ast.walk(root):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    self._bind_target(target, sub.value)
+            elif isinstance(sub, ast.AnnAssign) and sub.value is not None:
+                self._bind_target(sub.target, sub.value)
+            elif isinstance(sub, ast.AugAssign):
+                self._bind_target(sub.target, sub.value)
+            elif isinstance(sub, ast.NamedExpr):
+                self._bind_target(sub.target, sub.value)
+            elif isinstance(sub, ast.For):
+                self._bind_target(sub.target, sub.iter)
+            elif isinstance(sub, ast.comprehension):
+                self._bind_target(sub.target, sub.iter)
+            elif isinstance(sub, ast.withitem) and sub.optional_vars is not None:
+                self._bind_target(sub.optional_vars, sub.context_expr)
+            elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if sub is not self.func.node:
+                    self._inline_callables.add(sub.name)
+            elif isinstance(sub, ast.Global):
+                self._global_decls.update(sub.names)
+            elif isinstance(sub, ast.Nonlocal):
+                self._nonlocal_decls.update(sub.names)
+            elif isinstance(sub, ast.ExceptHandler) and sub.name:
+                self._bindings.setdefault(sub.name, [])
+
+    def _bind_target(self, target: ast.expr, value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self._bindings.setdefault(target.id, []).append(value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, value)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, value)
+        # attribute/subscript targets are writes, handled in _scan_node
+
+    # -- provenance ------------------------------------------------------
+    def prov_of(self, expr: ast.expr) -> Prov:
+        """Provenance of an expression (flow-insensitive, conservative)."""
+        if isinstance(expr, ast.Name):
+            return self._prov_of_name(expr.id)
+        if isinstance(expr, (ast.Attribute, ast.Subscript, ast.Starred)):
+            return self.prov_of(expr.value)
+        if isinstance(expr, ast.Call):
+            return self._prov_of_call(expr)
+        if isinstance(expr, ast.BoolOp):
+            prov = FRESH
+            for value in expr.values:
+                prov = join_prov(prov, self.prov_of(value))
+            return prov
+        if isinstance(expr, ast.IfExp):
+            return join_prov(self.prov_of(expr.body), self.prov_of(expr.orelse))
+        if isinstance(expr, ast.NamedExpr):
+            return self.prov_of(expr.value)
+        if isinstance(expr, ast.Await):
+            return UNKNOWN_PROV
+        if isinstance(expr, _DISPLAY_NODES):
+            return FRESH
+        return FRESH
+
+    def _prov_of_name(self, name: str) -> Prov:
+        if name == self.func.receiver and name:
+            return SELF
+        if name in self.func.params:
+            return Prov(PROV_PARAM, name)
+        if name in self._global_decls:
+            return Prov("global", name)
+        if name in self._bindings:
+            return self._prov_of_local(name)
+        if name in self._nonlocal_decls:
+            return UNKNOWN_PROV
+        if name in self._inline_callables:
+            return FRESH
+        if name in self.module.mutable_globals:
+            return Prov("global", name)
+        if name in self.module.functions or name in self.module.classes:
+            return Prov("global", name)
+        if name in self.ctx._aliases:
+            return Prov("global", name)
+        if name in tables.PURE_CALLS or name in {"True", "False", "None"}:
+            return FRESH
+        return UNKNOWN_PROV
+
+    def _prov_of_local(self, name: str) -> Prov:
+        cached = self._prov_cache.get(name)
+        if cached is not None:
+            return cached
+        if name in self._prov_stack:
+            return UNKNOWN_PROV
+        self._prov_stack.add(name)
+        try:
+            prov = FRESH
+            for value in self._bindings[name]:
+                prov = join_prov(prov, self.prov_of(value))
+        finally:
+            self._prov_stack.discard(name)
+        self._prov_cache[name] = prov
+        return prov
+
+    def _prov_of_call(self, call: ast.Call) -> Prov:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _FRESH_RESULT_METHODS:
+                return FRESH
+            dotted = self._dotted_of(func)
+            if dotted is not None and self._is_external_dotted(dotted):
+                return FRESH
+            # method-call results conservatively alias their receiver
+            # (covers ``self._buckets.setdefault(...)`` handing back a
+            # self-reachable list)
+            return self.prov_of(func.value)
+        return FRESH
+
+    # -- type inference --------------------------------------------------
+    def _classes_of(self, expr: ast.expr) -> List[ClassInfo]:
+        """Project classes ``expr`` may evaluate to (empty = untyped).
+
+        Annotations are trusted (mypy enforces them in CI); inferred
+        local bindings are only trusted when *every* binding is typed.
+        """
+        names = self._class_names_of(expr)
+        return [
+            self.index.classes[name]
+            for name in names
+            if name in self.index.classes
+        ]
+
+    def _class_names_of(self, expr: ast.expr) -> Tuple[str, ...]:
+        if isinstance(expr, ast.Name):
+            return self._class_names_of_name(expr.id)
+        if isinstance(expr, ast.Attribute):
+            found: Set[str] = set()
+            for base in self._classes_of(expr.value):
+                for cls in self.index.field_classes(base, expr.attr):
+                    found.add(cls.qualname)
+            return tuple(sorted(found))
+        if isinstance(expr, ast.Call):
+            return self._class_names_of_call(expr)
+        if isinstance(expr, ast.IfExp):
+            branches = set(self._class_names_of(expr.body))
+            branches.update(self._class_names_of(expr.orelse))
+            return tuple(sorted(branches))
+        if isinstance(expr, ast.BoolOp):
+            joined: Set[str] = set()
+            for value in expr.values:
+                joined.update(self._class_names_of(value))
+            return tuple(sorted(joined))
+        if isinstance(expr, ast.NamedExpr):
+            return self._class_names_of(expr.value)
+        return ()
+
+    def _class_names_of_name(self, name: str) -> Tuple[str, ...]:
+        if name == self.func.receiver and name:
+            cls = self.index.class_of(self.func)
+            return (cls.qualname,) if cls is not None else ()
+        found: Set[str] = set()
+        if name in self.func.param_type_refs:
+            for ref in self.func.param_type_refs[name]:
+                resolved = self.index.resolve_class(ref, self.func.module)
+                if resolved is not None:
+                    found.add(resolved.qualname)
+        if name in self._bindings:
+            found.update(self._inferred_local_classes(name))
+        return tuple(sorted(found))
+
+    def _inferred_local_classes(self, name: str) -> Tuple[str, ...]:
+        cached = self._type_cache.get(name)
+        if cached is not None:
+            return cached
+        if name in self._type_stack:
+            return ()
+        self._type_stack.add(name)
+        try:
+            inferred: Set[str] = set()
+            typed = True
+            for value in self._bindings[name]:
+                value_names = self._class_names_of(value)
+                if not value_names:
+                    typed = False
+                    break
+                inferred.update(value_names)
+        finally:
+            self._type_stack.discard(name)
+        result = tuple(sorted(inferred)) if typed else ()
+        self._type_cache[name] = result
+        return result
+
+    def _class_names_of_call(self, call: ast.Call) -> Tuple[str, ...]:
+        """Constructor calls type as the constructed class; calls to
+        precisely-resolved project functions type as their return
+        annotation."""
+        func = call.func
+        callees: List[str] = []
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in self.module.classes:
+                return (self.module.classes[name],)
+            dotted = self.ctx._aliases.get(name, name)
+            if dotted in self.index.classes:
+                return (dotted,)
+            if name in self.module.functions:
+                callees = [self.module.functions[name]]
+            elif dotted in self.index.functions:
+                callees = [dotted]
+        elif isinstance(func, ast.Attribute):
+            dotted_attr = self._dotted_of(func)
+            if dotted_attr is not None:
+                if dotted_attr in self.index.classes:
+                    return (dotted_attr,)
+                if dotted_attr in self.index.functions:
+                    callees = [dotted_attr]
+            if not callees:
+                targets: Set[str] = set()
+                for cls in self._classes_of(func.value):
+                    targets.update(
+                        self.index.override_targets(cls, func.attr)
+                    )
+                callees = sorted(targets)
+        returned: Set[str] = set()
+        for qualname in callees:
+            callee = self.index.functions.get(qualname)
+            if callee is None:
+                return ()
+            refs: Set[str] = set()
+            for ref in callee.return_type_refs:
+                resolved = self.index.resolve_class(ref, callee.module)
+                if resolved is not None:
+                    refs.add(resolved.qualname)
+            if not refs:
+                return ()
+            returned.update(refs)
+        return tuple(sorted(returned))
+
+    # -- atom helpers ----------------------------------------------------
+    def _add(self, effect: Optional[Effect]) -> None:
+        if effect is None or effect in self._atom_keys:
+            return
+        self._atom_keys.add(effect)
+        self.result.atoms.append(effect)
+
+    def _add_read_self(self) -> None:
+        if self._read_self_seen:
+            return
+        self._read_self_seen = True
+        label = self.func.class_name or "instance"
+        self._add(
+            Effect(
+                "read_self",
+                f"reads instance state of {label}",
+                self.func.qualname,
+            )
+        )
+
+    # -- node dispatch ---------------------------------------------------
+    def _scan_node(self, node: ast.AST) -> None:
+        if isinstance(node, ast.Call):
+            self._scan_call(node)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                self._scan_write_target(target)
+        elif isinstance(node, ast.AnnAssign):
+            self._scan_write_target(node.target)
+        elif isinstance(node, ast.AugAssign):
+            self._scan_write_target(node.target, augmented=True)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._scan_write_target(target)
+        elif isinstance(node, ast.Attribute):
+            self._scan_attribute(node)
+        elif isinstance(node, ast.Name):
+            self._scan_name(node)
+
+    def _scan_write_target(self, target: ast.expr, augmented: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            if name in self._global_decls:
+                self._add(
+                    Effect(
+                        "write_global",
+                        f"rebinds module global '{name}'",
+                        self.func.qualname,
+                        detail=name,
+                    )
+                )
+            elif augmented and name in self.module.mutable_globals:
+                self._add(
+                    Effect(
+                        "write_global",
+                        f"augments module global '{name}' without a global "
+                        "declaration",
+                        self.func.qualname,
+                        detail=name,
+                    )
+                )
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._scan_write_target(element, augmented=augmented)
+            return
+        if isinstance(target, ast.Starred):
+            self._scan_write_target(target.value, augmented=augmented)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            base = target.value
+            prov = self.prov_of(base)
+            described = self._describe_target(target)
+            self._add(
+                map_write(prov, f"assigns {described}", self.func.qualname)
+            )
+            if isinstance(target, ast.Attribute):
+                self._scan_setter(target, prov)
+
+    def _scan_setter(self, target: ast.Attribute, prov: Prov) -> None:
+        """Absorb a property setter when ``self.attr = ...`` has one."""
+        if not (isinstance(target.value, ast.Name) and prov == SELF):
+            return
+        cls = self.index.class_of(self.func)
+        if cls is None:
+            return
+        for candidate in self.index.mro_classes(cls):
+            setter = candidate.setters.get(target.attr)
+            if setter is not None:
+                self.result.calls.append(
+                    CallSite(
+                        lineno=target.lineno,
+                        targets=(setter,),
+                        receiver=SELF,
+                    )
+                )
+                return
+
+    def _describe_target(self, target: ast.expr) -> str:
+        try:
+            text = ast.unparse(target)
+        except Exception:  # pragma: no cover - unparse is total on 3.9+
+            text = "<target>"
+        if len(text) > 60:
+            text = text[:57] + "..."
+        return f"'{text}'"
+
+    def _scan_attribute(self, node: ast.Attribute) -> None:
+        if not isinstance(node.ctx, ast.Load):
+            return
+        if node.attr == "now":
+            self._add(
+                Effect(
+                    "read_clock",
+                    "reads the simulation clock ('.now')",
+                    self.func.qualname,
+                )
+            )
+        root = node
+        while isinstance(root, (ast.Attribute, ast.Subscript)):
+            root = root.value
+        if not isinstance(root, ast.Name):
+            return
+        prov = self._prov_of_name(root.id)
+        if prov == SELF:
+            if self._is_bare_self_method_ref(node):
+                return
+            self._add_read_self()
+        self._absorb_property(node)
+        # reads of mutable module globals are reported by ``_scan_name``
+        # when the walk reaches the root ``Name`` node itself
+
+    def _absorb_property(self, node: ast.Attribute) -> None:
+        """A read of ``base.attr`` runs the property getter when the
+        typed receiver declares one — absorb it as a call site."""
+        targets: Set[str] = set()
+        for cls in self._classes_of(node.value):
+            targets.update(self.index.property_targets(cls, node.attr))
+        if targets:
+            self.result.calls.append(
+                CallSite(
+                    lineno=node.lineno,
+                    targets=tuple(sorted(targets)),
+                    receiver=self.prov_of(node.value),
+                )
+            )
+
+    def _is_bare_self_method_ref(self, node: ast.Attribute) -> bool:
+        """``self.method(...)`` where ``method`` is a class-level def is a
+        method lookup, not an instance-state read."""
+        if id(node) not in self._call_funcs:
+            return False
+        if not isinstance(node.value, ast.Name):
+            return False
+        if node.value.id != self.func.receiver:
+            return False
+        cls = self.index.class_of(self.func)
+        if cls is None:
+            return False
+        return bool(self.index.override_targets(cls, node.attr))
+
+    def _scan_name(self, node: ast.Name) -> None:
+        if not isinstance(node.ctx, ast.Load):
+            return
+        name = node.id
+        if name in self._bindings or name in self.func.params:
+            return
+        if name == self.func.receiver and name:
+            return
+        imported_read = self._imported_mutable(name)
+        if name in self.module.mutable_globals or name in self._global_decls:
+            self._add(
+                Effect(
+                    "read_global",
+                    f"reads module global '{name}'",
+                    self.func.qualname,
+                    detail=name,
+                )
+            )
+        elif imported_read is not None:
+            self._add(
+                Effect(
+                    "read_global",
+                    f"reads shared object '{name}' imported from "
+                    f"{imported_read}",
+                    self.func.qualname,
+                    detail=name,
+                )
+            )
+
+    def _imported_mutable(self, name: str) -> Optional[str]:
+        """Module path when ``name`` is an import of a mutable project
+        module-level binding."""
+        dotted = self.ctx._aliases.get(name)
+        if dotted is None or "." not in dotted:
+            return None
+        module_path, _, attr = dotted.rpartition(".")
+        module = self.index.modules.get(module_path)
+        if module is not None and attr in module.mutable_globals:
+            return module_path
+        return None
+
+    # -- call scanning ---------------------------------------------------
+    def _scan_call(self, call: ast.Call) -> None:
+        func = call.func
+        if isinstance(func, ast.Lambda):
+            return  # immediately-invoked; body already attributed
+        if isinstance(func, ast.Name):
+            self._scan_name_call(call, func.id)
+        elif isinstance(func, ast.Attribute):
+            self._scan_method_call(call, func)
+        else:
+            self._add(
+                Effect(
+                    UNRESOLVED_CALL,
+                    "calls a dynamically computed callable",
+                    self.func.qualname,
+                )
+            )
+
+    def _scan_name_call(self, call: ast.Call, name: str) -> None:
+        if name in self._inline_callables:
+            return  # nested def; body already attributed
+        if name in self._bindings:
+            if all(
+                isinstance(value, ast.Lambda) for value in self._bindings[name]
+            ):
+                return  # local lambda alias
+            self._add(
+                Effect(
+                    UNRESOLVED_CALL,
+                    f"calls local callable '{name}' the analysis cannot "
+                    "bound",
+                    self.func.qualname,
+                    detail=name,
+                )
+            )
+            return
+        if name in self.func.params:
+            self._add(
+                Effect(
+                    "calls_param",
+                    f"calls parameter '{name}'",
+                    self.func.qualname,
+                    detail=name,
+                )
+            )
+            return
+        if name in self.module.functions:
+            self._add_project_call(call, [self.module.functions[name]], FRESH)
+            return
+        if name in self.module.classes:
+            self._add_constructor_call(call, self.module.classes[name])
+            return
+        dotted = self.ctx._aliases.get(name, name)
+        self._resolve_dotted_call(call, dotted)
+
+    def _scan_method_call(self, call: ast.Call, func: ast.Attribute) -> None:
+        method = func.attr
+        receiver = func.value
+
+        if (
+            isinstance(receiver, ast.Call)
+            and isinstance(receiver.func, ast.Name)
+            and receiver.func.id == "super"
+        ):
+            self._scan_super_call(call, method)
+            return
+
+        dotted = self._dotted_of(func)
+        if dotted is not None and self._is_external_dotted(dotted):
+            self._resolve_dotted_call(call, dotted)
+            return
+        if dotted is not None:
+            project = self._project_lookup(dotted)
+            if project is not None:
+                kind, qualname = project
+                if kind == "function":
+                    self._add_project_call(call, [qualname], UNKNOWN_PROV)
+                else:
+                    self._add_constructor_call(call, qualname)
+                return
+
+        receiver_prov = self.prov_of(receiver)
+        receiver_classes = self._classes_of(receiver)
+        if receiver_classes:
+            typed_targets: Set[str] = set()
+            for cls in receiver_classes:
+                typed_targets.update(self.index.override_targets(cls, method))
+            if typed_targets:
+                self._add_project_call(
+                    call, sorted(typed_targets), receiver_prov
+                )
+                return
+
+        table_hit = (
+            method in tables.RNG_METHODS
+            or method in tables.MUTATOR_METHODS
+            or method in tables.IO_METHODS
+            or method in tables.PURE_METHODS
+        )
+        matched = False
+        # name-join is the fallback of last resort: never for receivers
+        # typed to project classes (their method set is authoritative),
+        # and never for builtin container/RNG verbs (tables win)
+        if not table_hit and not receiver_classes:
+            targets = self.index.methods_by_name.get(method, [])
+            if targets:
+                matched = True
+                self._add_project_call(call, targets, receiver_prov)
+
+        if method in tables.RNG_METHODS:
+            matched = True
+            if receiver_prov.kind not in (PROV_FRESH, PROV_PARAM):
+                self._add(
+                    Effect(
+                        RNG_DRAW,
+                        f"draws '.{method}()' from an RNG that is not "
+                        "threaded as a parameter",
+                        self.func.qualname,
+                        detail=method,
+                    )
+                )
+        if method in tables.MUTATOR_METHODS:
+            matched = True
+            self._add(
+                map_write(
+                    receiver_prov,
+                    f"mutates its receiver via '.{method}()'",
+                    self.func.qualname,
+                )
+            )
+        if method in tables.IO_METHODS:
+            matched = True
+            if receiver_prov.kind != PROV_FRESH:
+                self._add(
+                    Effect(
+                        IO,
+                        f"performs I/O via '.{method}()'",
+                        self.func.qualname,
+                        detail=method,
+                    )
+                )
+        if method in tables.PURE_METHODS:
+            matched = True
+        if not matched:
+            self._add(
+                Effect(
+                    UNRESOLVED_CALL,
+                    f"calls '.{method}()' on a receiver the analysis "
+                    "cannot type",
+                    self.func.qualname,
+                    detail=method,
+                )
+            )
+
+    def _scan_super_call(self, call: ast.Call, method: str) -> None:
+        cls = self.index.class_of(self.func)
+        targets: List[str] = []
+        if cls is not None:
+            for candidate in self.index.mro_classes(cls)[1:]:
+                if method in candidate.methods:
+                    targets = [candidate.methods[method]]
+                    break
+        if targets:
+            self._add_project_call(call, targets, SELF)
+        else:
+            self._add(
+                Effect(
+                    UNRESOLVED_CALL,
+                    f"calls super().{method}() with no resolvable project "
+                    "base",
+                    self.func.qualname,
+                    detail=method,
+                )
+            )
+
+    # -- dotted resolution ----------------------------------------------
+    def _dotted_of(self, node: ast.expr) -> Optional[str]:
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        base = self.ctx._aliases.get(current.id)
+        if base is None:
+            if current.id in self.module.classes:
+                base = self.module.classes[current.id]
+            else:
+                return None
+        parts.append(base)
+        return ".".join(reversed(parts))
+
+    def _is_external_dotted(self, dotted: str) -> bool:
+        root = dotted.split(".")[0]
+        return root in tables.KNOWN_STDLIB_ROOTS and root not in self.index.modules
+
+    def _project_lookup(self, dotted: str) -> Optional[Tuple[str, str]]:
+        if dotted in self.index.functions:
+            return ("function", dotted)
+        if dotted in self.index.classes:
+            return ("class", dotted)
+        return None
+
+    def _resolve_dotted_call(self, call: ast.Call, dotted: str) -> None:
+        project = self._project_lookup(dotted)
+        if project is not None:
+            kind, qualname = project
+            if kind == "function":
+                receiver = FRESH
+                if self.index.functions[qualname].class_name:
+                    receiver = UNKNOWN_PROV
+                self._add_project_call(call, [qualname], receiver)
+            else:
+                self._add_constructor_call(call, qualname)
+            return
+        root = dotted.split(".")[0]
+        if dotted in tables.UNKNOWN_CALLS:
+            self._add(
+                Effect(
+                    UNRESOLVED_CALL,
+                    f"calls dynamic builtin '{dotted}'",
+                    self.func.qualname,
+                    detail=dotted,
+                )
+            )
+            return
+        if dotted in tables.ARG0_MUTATORS:
+            prov = self.prov_of(call.args[0]) if call.args else UNKNOWN_PROV
+            self._add(
+                map_write(
+                    prov,
+                    f"mutates its first argument via {dotted}()",
+                    self.func.qualname,
+                )
+            )
+            return
+        if dotted in tables.FRESH_NUMPY_RANDOM:
+            return
+        if tables.matches_prefix(dotted, tables.RNG_PREFIXES):
+            self._add(
+                Effect(
+                    RNG_DRAW,
+                    f"draws from shared module-level RNG {dotted}()",
+                    self.func.qualname,
+                    detail=dotted,
+                )
+            )
+            return
+        if tables.matches_prefix(dotted, tables.WALL_PREFIXES):
+            self._add(
+                Effect(
+                    WALL_CLOCK,
+                    f"reads the host wall clock via {dotted}()",
+                    self.func.qualname,
+                    detail=dotted,
+                )
+            )
+            return
+        if tables.matches_prefix(dotted, tables.IO_PREFIXES):
+            self._add(
+                Effect(
+                    IO,
+                    f"performs I/O via {dotted}()",
+                    self.func.qualname,
+                    detail=dotted,
+                )
+            )
+            return
+        if dotted in tables.PURE_CALLS:
+            return
+        if tables.matches_prefix(dotted, tables.PURE_PREFIXES):
+            return
+        if tables.matches_prefix(dotted, tables.PURE_NUMPY_PREFIXES):
+            return
+        if root in tables.KNOWN_STDLIB_ROOTS:
+            return
+        if dotted.startswith("repro.") or root in self.index.modules:
+            # a project path the registry does not know (dynamic attr,
+            # re-export, missing module) — refuse to guess
+            self._add(
+                Effect(
+                    UNRESOLVED_CALL,
+                    f"calls unregistered project path {dotted}()",
+                    self.func.qualname,
+                    detail=dotted,
+                )
+            )
+            return
+        self._add(
+            Effect(
+                UNRESOLVED_CALL,
+                f"calls unknown callable '{dotted}'",
+                self.func.qualname,
+                detail=dotted,
+            )
+        )
+
+    # -- call-site construction -----------------------------------------
+    def _add_constructor_call(self, call: ast.Call, class_qual: str) -> None:
+        cls = self.index.classes.get(class_qual)
+        if cls is None:
+            return
+        targets: List[str] = []
+        for name in ("__init__", "__post_init__"):
+            for candidate in self.index.mro_classes(cls):
+                if name in candidate.methods:
+                    targets.append(candidate.methods[name])
+                    break
+        if targets:
+            self._add_project_call(call, targets, FRESH)
+
+    def _add_project_call(
+        self, call: ast.Call, targets: Sequence[str], receiver: Prov
+    ) -> None:
+        actuals = self._map_actuals(call, targets)
+        self.result.calls.append(
+            CallSite(
+                lineno=call.lineno,
+                targets=tuple(sorted(set(targets))),
+                receiver=receiver,
+                actuals=actuals,
+            )
+        )
+
+    def _map_actuals(
+        self, call: ast.Call, targets: Sequence[str]
+    ) -> Tuple[Tuple[str, Actual], ...]:
+        by_param: Dict[str, Actual] = {}
+        for qualname in targets:
+            callee = self.index.functions.get(qualname)
+            if callee is None:
+                continue
+            for position, arg in enumerate(call.args):
+                if isinstance(arg, ast.Starred):
+                    continue
+                if position < len(callee.params):
+                    self._merge_actual(
+                        by_param, callee.params[position], self._actual_of(arg)
+                    )
+            for keyword in call.keywords:
+                if keyword.arg is None:
+                    continue
+                if keyword.arg in callee.params:
+                    self._merge_actual(
+                        by_param, keyword.arg, self._actual_of(keyword.value)
+                    )
+        return tuple(sorted(by_param.items()))
+
+    @staticmethod
+    def _merge_actual(
+        by_param: Dict[str, Actual], param: str, actual: Actual
+    ) -> None:
+        existing = by_param.get(param)
+        if existing is None:
+            by_param[param] = actual
+            return
+        by_param[param] = Actual(
+            prov=join_prov(existing.prov, actual.prov),
+            is_inline_callable=existing.is_inline_callable
+            and actual.is_inline_callable,
+            func_ref=existing.func_ref
+            if existing.func_ref == actual.func_ref
+            else "",
+        )
+
+    def _actual_of(self, arg: ast.expr) -> Actual:
+        if isinstance(arg, ast.Lambda):
+            return Actual(prov=FRESH, is_inline_callable=True)
+        if isinstance(arg, ast.Name):
+            if arg.id in self._inline_callables:
+                return Actual(prov=FRESH, is_inline_callable=True)
+            if arg.id in self.module.functions:
+                return Actual(
+                    prov=FRESH, func_ref=self.module.functions[arg.id]
+                )
+            dotted = self.ctx._aliases.get(arg.id)
+            if dotted is not None and dotted in self.index.functions:
+                return Actual(prov=FRESH, func_ref=dotted)
+            return Actual(prov=self.prov_of(arg))
+        if isinstance(arg, ast.Attribute):
+            # bound-method reference, e.g. passing ``self._compute``
+            if isinstance(arg.value, ast.Name):
+                receiver_prov = self._prov_of_name(arg.value.id)
+                if receiver_prov == SELF:
+                    cls = self.index.class_of(self.func)
+                    if cls is not None:
+                        bound = self.index.override_targets(cls, arg.attr)
+                        if len(bound) == 1:
+                            return Actual(prov=SELF, func_ref=bound[0])
+            return Actual(prov=self.prov_of(arg))
+        return Actual(prov=self.prov_of(arg))
+
+
+def scan_function(
+    func: FunctionInfo, index: ProjectIndex
+) -> LocalResult:
+    """Extract local atoms and call sites for ``func``."""
+    module = index.modules[func.module]
+    return FunctionScanner(func, index, module).run()

@@ -1,0 +1,159 @@
+"""Deterministic ``shard_safety.json`` manifest.
+
+The manifest is the attestation artifact the scale-out dispatcher (see
+ROADMAP item 1) consumes: every analysed function maps to its verdict,
+and every declared root carries its witness chains.  The encoding is
+byte-stable across runs — sorted keys, no timestamps, no absolute
+paths, no line numbers (qualnames and reasons only) — so CI can diff it
+against a committed baseline and any churn is a reviewed decision.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.analysis.effects.fixpoint import EffectsResult
+from repro.analysis.effects.model import (
+    MUTATES_SHARED,
+    PURE,
+    READS_SHARED,
+    UNKNOWN,
+    iter_sorted,
+)
+from repro.analysis.effects.project import SHARD_SAFE, WORKER_LOCAL
+
+SCHEMA = "repro.shard-safety/1"
+
+#: verdicts a declared shard-safe root may carry and still be dispatched
+CERTIFIABLE = frozenset({PURE, READS_SHARED})
+
+#: cap on recorded witnesses per root — the worst offenders, not a dump
+_MAX_WITNESSES = 8
+
+
+def build_manifest(result: EffectsResult) -> Dict[str, Any]:
+    """The manifest payload (plain dict, JSON-encodable, deterministic)."""
+    functions: Dict[str, str] = {
+        qualname: result.verdicts[qualname]
+        for qualname in sorted(result.verdicts)
+    }
+    roots: Dict[str, Any] = {}
+    for func in result.index.declared(SHARD_SAFE):
+        summary = result.exported.get(func.qualname, {})
+        witnesses: List[Dict[str, str]] = []
+        for effect, chain in iter_sorted(summary):
+            if effect.severity not in (MUTATES_SHARED, UNKNOWN):
+                continue
+            if len(witnesses) >= _MAX_WITNESSES:
+                break
+            witnesses.append(
+                {
+                    "chain": " -> ".join((func.qualname,) + chain),
+                    "kind": effect.kind,
+                    "reason": effect.reason,
+                }
+            )
+        verdict = result.verdicts.get(func.qualname, UNKNOWN)
+        roots[func.qualname] = {
+            "certified": verdict in CERTIFIABLE and not witnesses,
+            "verdict": verdict,
+            "witnesses": witnesses,
+        }
+    trusted: Dict[str, str] = {}
+    for func in result.index.declared(WORKER_LOCAL):
+        annotation = func.annotation
+        trusted[func.qualname] = annotation.reason if annotation else ""
+    counts: Dict[str, int] = {PURE: 0, READS_SHARED: 0, MUTATES_SHARED: 0, UNKNOWN: 0}
+    for verdict in functions.values():
+        counts[verdict] += 1
+    return {
+        "schema": SCHEMA,
+        "counts": counts,
+        "functions": functions,
+        "roots": roots,
+        "trusted": trusted,
+    }
+
+
+def render_manifest(payload: Dict[str, Any]) -> str:
+    """Canonical byte-stable encoding of a manifest payload."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_manifest(payload: Dict[str, Any], path: Union[str, Path]) -> None:
+    """Write the canonical encoding to ``path``."""
+    Path(path).write_text(render_manifest(payload), encoding="utf-8")
+
+
+def diff_manifests(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> List[str]:
+    """Human-readable drift lines between two manifest payloads."""
+    lines: List[str] = []
+    old_functions: Dict[str, str] = old.get("functions", {})
+    new_functions: Dict[str, str] = new.get("functions", {})
+    for qualname in sorted(set(old_functions) | set(new_functions)):
+        before = old_functions.get(qualname)
+        after = new_functions.get(qualname)
+        if before == after:
+            continue
+        if before is None:
+            lines.append(f"+ {qualname}: {after}")
+        elif after is None:
+            lines.append(f"- {qualname}: {before}")
+        else:
+            lines.append(f"~ {qualname}: {before} -> {after}")
+    old_roots = old.get("roots", {})
+    new_roots = new.get("roots", {})
+    for qualname in sorted(set(old_roots) | set(new_roots)):
+        before_cert = old_roots.get(qualname, {}).get("certified")
+        after_cert = new_roots.get(qualname, {}).get("certified")
+        if before_cert != after_cert:
+            lines.append(
+                f"~ root {qualname}: certified {before_cert} -> {after_cert}"
+            )
+    return lines
+
+
+@dataclass
+class ShardSafetyManifest:
+    """Runtime view over a written manifest.
+
+    The scale-out dispatcher asks :meth:`is_certified` before shipping a
+    function to a worker; anything the manifest does not certify runs in
+    the coordinating process instead.
+    """
+
+    payload: Dict[str, Any]
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ShardSafetyManifest":
+        """Read a manifest written by :func:`write_manifest`."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("schema") != SCHEMA:
+            raise ValueError(
+                f"unsupported shard-safety schema: {data.get('schema')!r}"
+            )
+        return cls(payload=data)
+
+    def verdict(self, qualname: str) -> Optional[str]:
+        """The recorded verdict for ``qualname``, if analysed."""
+        verdict = self.payload.get("functions", {}).get(qualname)
+        return str(verdict) if verdict is not None else None
+
+    def is_certified(self, qualname: str) -> bool:
+        """Whether ``qualname`` is a declared root that verified clean."""
+        root = self.payload.get("roots", {}).get(qualname)
+        return bool(root and root.get("certified"))
+
+    @property
+    def certified_roots(self) -> List[str]:
+        """All certified root qualnames, sorted."""
+        return sorted(
+            qualname
+            for qualname, root in self.payload.get("roots", {}).items()
+            if root.get("certified")
+        )

@@ -1,0 +1,275 @@
+"""The effect lattice and summary records of the interprocedural pass.
+
+Every function in the analysed project gets a *summary*: a set of
+:class:`Effect` atoms, each carrying the reason it arose, the qualname
+where it originated, and (after propagation) the call chain that makes it
+reachable.  The summary collapses to one of four verdicts ordered as a
+lattice::
+
+    PURE  ⊑  READS_SHARED  ⊑  MUTATES_SHARED  ⊑  UNKNOWN
+
+``UNKNOWN`` is the poison element: an unresolvable dynamic call means the
+analysis cannot bound the callee's behaviour, so everything reaching it
+is conservatively uncertifiable.
+
+Atoms additionally carry a *confinement* dimension used by the trusted
+``# agora: worker-local`` declaration (see :mod:`.fixpoint`): mutations
+confined to ``self``-reachable state, memo decorators, and keyed RNG
+draws can be attested as per-worker-replicable; true module-global
+writes, I/O, and unresolved calls cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+# -- verdicts ----------------------------------------------------------------
+
+PURE = "PURE"
+READS_SHARED = "READS_SHARED"
+MUTATES_SHARED = "MUTATES_SHARED"
+UNKNOWN = "UNKNOWN"
+
+_VERDICT_ORDER: Dict[str, int] = {
+    PURE: 0,
+    READS_SHARED: 1,
+    MUTATES_SHARED: 2,
+    UNKNOWN: 3,
+}
+
+
+def join_verdicts(a: str, b: str) -> str:
+    """Least upper bound of two verdicts."""
+    return a if _VERDICT_ORDER[a] >= _VERDICT_ORDER[b] else b
+
+
+# -- atom kinds --------------------------------------------------------------
+
+#: write to a module global, class attribute, or object of unknown origin
+WRITE_GLOBAL = "write_global"
+#: write to state reachable from ``self`` (instance attrs, their contents)
+WRITE_SELF = "write_self"
+#: write to state reachable from a (non-self) parameter; mapped to the
+#: actual argument's provenance at every call site
+WRITE_ARG = "write_arg"
+#: memoisation hanging off the function object (``functools.lru_cache``)
+MEMO = "memo"
+#: RNG draw from a generator that is not a threaded parameter
+RNG_DRAW = "rng_draw"
+#: host wall-clock read (``time.time`` and friends)
+WALL_CLOCK = "wall_clock"
+#: file/network/process I/O
+IO = "io"
+#: read of a module-level mutable binding or other global object
+READ_GLOBAL = "read_global"
+#: read of instance state through ``self``
+READ_SELF = "read_self"
+#: read of the simulation virtual clock (``*.now``)
+READ_CLOCK = "read_clock"
+#: call that the conservative resolver could not bound
+UNRESOLVED_CALL = "unresolved_call"
+#: call of a parameter (higher-order); resolved at call sites, and poison
+#: if the actual argument cannot be identified
+CALLS_PARAM = "calls_param"
+
+#: atom kind -> verdict contribution
+KIND_SEVERITY: Dict[str, str] = {
+    WRITE_GLOBAL: MUTATES_SHARED,
+    WRITE_SELF: MUTATES_SHARED,
+    WRITE_ARG: MUTATES_SHARED,
+    MEMO: MUTATES_SHARED,
+    RNG_DRAW: MUTATES_SHARED,
+    WALL_CLOCK: MUTATES_SHARED,
+    IO: MUTATES_SHARED,
+    READ_GLOBAL: READS_SHARED,
+    READ_SELF: READS_SHARED,
+    READ_CLOCK: READS_SHARED,
+    UNRESOLVED_CALL: UNKNOWN,
+    CALLS_PARAM: UNKNOWN,
+}
+
+#: atom kinds a worker-local declaration comment may attest away:
+#: self-confined memo writes and keyed RNG re-derivation are replicable
+#: per worker; global writes, I/O and unresolved calls are not.
+TRUSTABLE_KINDS = frozenset({WRITE_SELF, MEMO, RNG_DRAW})
+
+
+@dataclass(frozen=True, order=True)
+class Effect:
+    """One effect atom: what happened, where, and why.
+
+    ``detail`` disambiguates atoms of the same kind — the parameter name
+    for :data:`WRITE_ARG` / :data:`CALLS_PARAM`, the global name for
+    global reads/writes.
+    """
+
+    kind: str
+    reason: str
+    origin: str
+    detail: str = ""
+
+    @property
+    def severity(self) -> str:
+        """The verdict this atom forces on its own."""
+        return KIND_SEVERITY[self.kind]
+
+
+#: summary: atom -> witness chain (callee qualnames from the summarised
+#: function down to — and including — the atom's origin; empty for local
+#: atoms).
+Summary = Dict[Effect, Tuple[str, ...]]
+
+
+def better_chain(a: Tuple[str, ...], b: Tuple[str, ...]) -> Tuple[str, ...]:
+    """The canonical (shortest, then lexicographically least) chain."""
+    if len(a) != len(b):
+        return a if len(a) < len(b) else b
+    return a if a <= b else b
+
+
+def merge_effect(
+    summary: Summary, effect: Effect, chain: Tuple[str, ...]
+) -> bool:
+    """Fold one atom into ``summary``; returns True if anything changed."""
+    existing = summary.get(effect)
+    if existing is None:
+        summary[effect] = chain
+        return True
+    best = better_chain(existing, chain)
+    if best != existing:
+        summary[effect] = best
+        return True
+    return False
+
+
+def summary_verdict(summary: Summary) -> str:
+    """The joined verdict of every atom in ``summary``."""
+    verdict = PURE
+    for effect in summary:
+        verdict = join_verdicts(verdict, effect.severity)
+    return verdict
+
+
+def worst_effects(summary: Summary) -> List[Tuple[Effect, Tuple[str, ...]]]:
+    """Atoms at the summary's verdict level, in deterministic order."""
+    verdict = summary_verdict(summary)
+    found = [
+        (effect, chain)
+        for effect, chain in summary.items()
+        if effect.severity == verdict
+    ]
+    return sorted(found, key=lambda pair: (pair[0], pair[1]))
+
+
+# -- provenance --------------------------------------------------------------
+
+#: freshly constructed inside this function; mutating it is invisible
+PROV_FRESH = "fresh"
+#: the receiver instance (``self``/``cls``) or state reached through it
+PROV_SELF = "self"
+#: a (non-self) parameter or state reached through it
+PROV_PARAM = "param"
+#: a module-level binding or other global object
+PROV_GLOBAL = "global"
+#: could not be determined
+PROV_UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class Prov:
+    """Where a value comes from, for write/read mapping."""
+
+    kind: str
+    name: str = ""
+
+
+FRESH = Prov(PROV_FRESH)
+SELF = Prov(PROV_SELF)
+GLOBAL = Prov(PROV_GLOBAL)
+UNKNOWN_PROV = Prov(PROV_UNKNOWN)
+
+
+def join_prov(a: Prov, b: Prov) -> Prov:
+    """Join two provenances (fresh is bottom, unknown is top)."""
+    if a == b:
+        return a
+    if a.kind == PROV_FRESH:
+        return b
+    if b.kind == PROV_FRESH:
+        return a
+    return UNKNOWN_PROV
+
+
+# -- call sites --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Actual:
+    """One resolved actual argument at a call site."""
+
+    prov: Prov
+    #: the argument expression is an inline lambda / local function whose
+    #: body effects are already attributed to the caller
+    is_inline_callable: bool = False
+    #: qualname of the project function passed by reference, if any
+    func_ref: str = ""
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call edge from a function to resolved project targets."""
+
+    lineno: int
+    #: resolved project callee qualnames (joined conservatively)
+    targets: Tuple[str, ...]
+    #: provenance of the receiver (for WRITE_SELF/READ_SELF mapping);
+    #: FRESH for constructor calls, UNKNOWN_PROV for plain functions
+    receiver: Prov
+    #: actual arguments by callee parameter name (self excluded)
+    actuals: Tuple[Tuple[str, Actual], ...] = ()
+
+    def actual_for(self, param: str) -> "Actual":
+        """The actual bound to ``param``, or an unknown placeholder."""
+        for name, actual in self.actuals:
+            if name == param:
+                return actual
+        return Actual(prov=UNKNOWN_PROV)
+
+
+@dataclass
+class LocalResult:
+    """Everything the intraprocedural pass extracts from one function."""
+
+    atoms: List[Effect] = field(default_factory=list)
+    calls: List[CallSite] = field(default_factory=list)
+
+
+def map_write(prov: Prov, reason: str, origin: str) -> "Effect | None":
+    """Translate a state write through ``prov`` into an atom (or drop)."""
+    if prov.kind == PROV_FRESH:
+        return None
+    if prov.kind == PROV_SELF:
+        return Effect(WRITE_SELF, reason, origin)
+    if prov.kind == PROV_PARAM:
+        return Effect(WRITE_ARG, reason, origin, detail=prov.name)
+    return Effect(WRITE_GLOBAL, reason, origin, detail=prov.name)
+
+
+def map_read(prov: Prov, reason: str, origin: str) -> "Effect | None":
+    """Translate a state read through ``prov`` into an atom (or drop).
+
+    Reads of parameters and fresh objects are input reads — pure from the
+    caller's perspective; the certification story excludes concurrent
+    mutation separately (no certified mutators).
+    """
+    if prov.kind in (PROV_FRESH, PROV_PARAM):
+        return None
+    if prov.kind == PROV_SELF:
+        return Effect(READ_SELF, reason, origin)
+    return Effect(READ_GLOBAL, reason, origin, detail=prov.name)
+
+
+def iter_sorted(summary: Summary) -> Iterable[Tuple[Effect, Tuple[str, ...]]]:
+    """Deterministic iteration over a summary."""
+    return sorted(summary.items(), key=lambda pair: (pair[0], pair[1]))

@@ -1,0 +1,680 @@
+"""Whole-project AST index for the interprocedural effect pass.
+
+Collects every module under the analysed roots into one registry:
+functions and methods keyed by qualified name
+(``repro.pkg.mod.Class.method``), class metadata (bases, methods,
+properties, subclasses), per-module import-alias tables and
+module-level binding mutability, plus the ``# agora: shard-safe`` /
+``# agora: worker-local`` annotations that drive certification.
+
+Everything is collected in sorted-path order so downstream output is
+deterministic regardless of filesystem enumeration order.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.analysis.engine import module_name_for
+from repro.analysis.rules.base import RuleContext
+
+_MODULE_OVERRIDE_PREFIX = "# module:"
+
+#: declaration comment grammar (never matches ``# agora: ignore[...]``)
+ANNOTATION_RE = re.compile(
+    r"#\s*agora:\s*(?P<kind>shard-safe|worker-local)\b[ \t]*(?P<reason>[^#]*)"
+)
+
+SHARD_SAFE = "shard-safe"
+WORKER_LOCAL = "worker-local"
+
+#: function decorators that do not change the effect story of the body
+BENIGN_DECORATORS = frozenset(
+    {
+        "property",
+        "staticmethod",
+        "classmethod",
+        "abstractmethod",
+        "abc.abstractmethod",
+        "functools.wraps",
+        "contextlib.contextmanager",
+        "typing.overload",
+        "dataclasses.dataclass",
+    }
+)
+
+#: decorators that introduce memoisation on the function object
+MEMO_DECORATORS = frozenset(
+    {
+        "functools.lru_cache",
+        "functools.cache",
+        "functools.cached_property",
+    }
+)
+
+_IMMUTABLE_CONSTS = (
+    ast.Constant,
+    ast.Tuple,
+    ast.BinOp,
+    ast.UnaryOp,
+    ast.Compare,
+    ast.IfExp,
+    ast.Lambda,
+    ast.Attribute,
+    ast.Name,
+    ast.Subscript,
+    ast.JoinedStr,
+)
+
+
+_UNION_HEADS = frozenset(
+    {"Optional", "Union", "typing.Optional", "typing.Union"}
+)
+
+
+def annotation_refs(node: Optional[ast.expr], ctx: RuleContext) -> Tuple[str, ...]:
+    """Candidate class references named by a type annotation.
+
+    Handles string annotations, ``Optional[X]`` / ``Union[X, Y]`` and PEP
+    604 ``X | None`` unions; container annotations (``List[X]``) name the
+    container, not the element, and contribute nothing.
+    """
+    if node is None:
+        return ()
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            parsed = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return ()
+        return annotation_refs(parsed, ctx)
+    if isinstance(node, ast.Subscript):
+        head = ctx.resolve(node.value)
+        if head in _UNION_HEADS:
+            inner = node.slice
+            if isinstance(inner, ast.Tuple):
+                refs: List[str] = []
+                for element in inner.elts:
+                    refs.extend(annotation_refs(element, ctx))
+                return tuple(sorted(set(refs)))
+            return annotation_refs(inner, ctx)
+        return ()
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitOr):
+        refs = list(annotation_refs(node.left, ctx))
+        refs.extend(annotation_refs(node.right, ctx))
+        return tuple(sorted(set(refs)))
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        resolved = ctx.resolve(node)
+        if resolved is None or resolved in ("None", "NoneType"):
+            return ()
+        return (resolved,)
+    return ()
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """One ``# agora: shard-safe`` / ``# agora: worker-local`` comment."""
+
+    kind: str
+    lineno: int
+    reason: str
+    path: str
+
+
+@dataclass
+class FunctionInfo:
+    """One analysable function or method."""
+
+    qualname: str
+    module: str
+    path: str
+    lineno: int
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    class_name: str = ""
+    #: ordered parameter names, receiver (self/cls) excluded
+    params: Tuple[str, ...] = ()
+    #: receiver name when this is an instance/class method ("" otherwise)
+    receiver: str = ""
+    has_varargs: bool = False
+    is_property: bool = False
+    #: name this setter property assigns to, when decorated @x.setter
+    setter_for: str = ""
+    is_static: bool = False
+    has_memo_decorator: bool = False
+    unknown_decorators: Tuple[str, ...] = ()
+    annotation: Optional[Annotation] = None
+    #: parameter name -> candidate class refs from its type annotation
+    param_type_refs: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: candidate class refs from the return annotation
+    return_type_refs: Tuple[str, ...] = ()
+
+
+@dataclass
+class ClassInfo:
+    """One project class: methods, properties, bases, subclasses."""
+
+    qualname: str
+    module: str
+    name: str
+    #: method name -> function qualname
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: property name -> getter qualname
+    properties: Dict[str, str] = field(default_factory=dict)
+    #: attr name -> setter qualname
+    setters: Dict[str, str] = field(default_factory=dict)
+    #: resolved project base-class qualnames
+    bases: Tuple[str, ...] = ()
+    #: filled in after all modules are collected
+    subclasses: List[str] = field(default_factory=list)
+    #: instance attr -> candidate class refs (annotations + constructor
+    #: assigns + annotated-parameter assigns in method bodies)
+    field_type_refs: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module facts the resolver needs."""
+
+    name: str
+    path: str
+    ctx: RuleContext
+    #: module-level names bound to mutable containers/objects
+    mutable_globals: Set[str] = field(default_factory=set)
+    #: module-level function name -> qualname
+    functions: Dict[str, str] = field(default_factory=dict)
+    #: module-level class name -> class qualname
+    classes: Dict[str, str] = field(default_factory=dict)
+
+
+def _module_override(source: str) -> Optional[str]:
+    for line in source.splitlines()[:5]:
+        stripped = line.strip()
+        if stripped.startswith(_MODULE_OVERRIDE_PREFIX):
+            return stripped[len(_MODULE_OVERRIDE_PREFIX):].strip() or None
+    return None
+
+
+def _decorator_name(node: ast.expr, ctx: RuleContext) -> str:
+    """Canonical dotted name of a decorator expression."""
+    target = node
+    if isinstance(target, ast.Call):
+        target = target.func
+    resolved = ctx.resolve(target)
+    if resolved is not None:
+        return resolved
+    if isinstance(target, ast.Attribute):
+        # ``@x.setter`` / ``@x.getter`` style
+        return target.attr
+    return ast.dump(target)[:40]
+
+
+def _is_mutable_initializer(node: ast.expr) -> bool:
+    """Whether a module-level assignment binds an (aliasable) mutable."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        # Constructor calls at module level produce shared singletons;
+        # treat them as mutable unless they are obviously value-like.
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        return name not in {
+            "frozenset",
+            "tuple",
+            "compile",  # compiled regexes are immutable in practice
+            "FrozenSet",
+            "namedtuple",
+            "TypeVar",
+        }
+    if isinstance(node, _IMMUTABLE_CONSTS):
+        return False
+    return True
+
+
+def _collect_annotations(source: str, path: str) -> Dict[int, Annotation]:
+    """Declarations found in real comment tokens.
+
+    Tokenising (rather than grepping lines) keeps docstrings and string
+    literals that merely *mention* the grammar from counting as
+    declarations.
+    """
+    found: Dict[int, Annotation] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return found
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = ANNOTATION_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        found[lineno] = Annotation(
+            kind=match.group("kind"),
+            lineno=lineno,
+            reason=match.group("reason").strip(),
+            path=path,
+        )
+    return found
+
+
+def _is_comment_or_blank(line: str) -> bool:
+    stripped = line.strip()
+    return not stripped or stripped.startswith("#")
+
+
+class ProjectIndex:
+    """The whole-project registry built from a set of source roots."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: method name -> sorted qualnames of every project method with it
+        self.methods_by_name: Dict[str, List[str]] = {}
+        #: property name -> sorted getter qualnames
+        self.properties_by_name: Dict[str, List[str]] = {}
+        #: annotations that did not attach to any function
+        self.dangling: List[Annotation] = []
+        #: (path, message) parse failures
+        self.parse_errors: List[Tuple[str, str]] = []
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def build(cls, paths: Iterable[Union[str, Path]]) -> "ProjectIndex":
+        """Index every ``*.py`` file under ``paths`` (sorted order)."""
+        index = cls()
+        files: List[Path] = []
+        for path in paths:
+            target = Path(path)
+            if target.is_dir():
+                files.extend(sorted(target.rglob("*.py")))
+            else:
+                files.append(target)
+        for file_path in sorted(set(files)):
+            index.add_file(file_path)
+        index.finalise()
+        return index
+
+    def add_file(self, path: Path) -> None:
+        """Parse and index one file."""
+        source = path.read_text(encoding="utf-8")
+        module = _module_override(source) or module_name_for(path)
+        if module is None:
+            module = ".".join(("x", path.stem))
+        self.add_source(source, path=str(path), module=module)
+
+    def add_source(self, source: str, path: str, module: str) -> None:
+        """Index one in-memory module (fixtures use this directly)."""
+        override = _module_override(source)
+        if override is not None:
+            module = override
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            self.parse_errors.append((path, f"line {error.lineno}: {error.msg}"))
+            return
+        ctx = RuleContext(path=path, source=source, tree=tree, module=module)
+        info = ModuleInfo(name=module, path=path, ctx=ctx)
+        annotations = _collect_annotations(source, path)
+        claimed: Set[int] = set()
+
+        for node in tree.body:
+            self._index_toplevel(node, info, ctx, annotations, claimed)
+        self.modules[module] = info
+        for lineno in sorted(annotations):
+            if lineno not in claimed:
+                self.dangling.append(annotations[lineno])
+
+    # -- module internals ----------------------------------------------
+    def _index_toplevel(
+        self,
+        node: ast.stmt,
+        info: ModuleInfo,
+        ctx: RuleContext,
+        annotations: Dict[int, Annotation],
+        claimed: Set[int],
+    ) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = self._register_function(
+                node, info, ctx, class_name="", annotations=annotations, claimed=claimed
+            )
+            info.functions[node.name] = func.qualname
+        elif isinstance(node, ast.ClassDef):
+            self._register_class(node, info, ctx, annotations, claimed)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            if value is None or not _is_mutable_initializer(value):
+                return
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    info.mutable_globals.add(target.id)
+
+    def _register_class(
+        self,
+        node: ast.ClassDef,
+        info: ModuleInfo,
+        ctx: RuleContext,
+        annotations: Dict[int, Annotation],
+        claimed: Set[int],
+    ) -> None:
+        class_qual = f"{info.name}.{node.name}"
+        bases: List[str] = []
+        for base in node.bases:
+            resolved = ctx.resolve(base)
+            if resolved is not None:
+                bases.append(resolved)
+        cls_info = ClassInfo(
+            qualname=class_qual,
+            module=info.name,
+            name=node.name,
+            bases=tuple(bases),
+        )
+        field_refs: Dict[str, Set[str]] = {}
+        for child in node.body:
+            if isinstance(child, ast.AnnAssign) and isinstance(
+                child.target, ast.Name
+            ):
+                refs = annotation_refs(child.annotation, ctx)
+                if refs:
+                    field_refs.setdefault(child.target.id, set()).update(refs)
+                continue
+            if not isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            func = self._register_function(
+                child,
+                info,
+                ctx,
+                class_name=node.name,
+                annotations=annotations,
+                claimed=claimed,
+            )
+            if func.is_property:
+                cls_info.properties[child.name] = func.qualname
+            elif func.setter_for:
+                cls_info.setters[func.setter_for] = func.qualname
+            else:
+                cls_info.methods[child.name] = func.qualname
+            self._collect_field_refs(child, func, info, ctx, field_refs)
+        cls_info.field_type_refs = {
+            attr: tuple(sorted(refs)) for attr, refs in field_refs.items()
+        }
+        self.classes[class_qual] = cls_info
+        info.classes[node.name] = class_qual
+
+    def _collect_field_refs(
+        self,
+        method: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        func: FunctionInfo,
+        info: ModuleInfo,
+        ctx: RuleContext,
+        field_refs: Dict[str, Set[str]],
+    ) -> None:
+        """Harvest ``self.attr`` type evidence from one method body."""
+        receiver = func.receiver
+        if not receiver:
+            return
+        for node in ast.walk(method):
+            target: Optional[ast.expr] = None
+            value: Optional[ast.expr] = None
+            annotation: Optional[ast.expr] = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value, annotation = node.target, node.value, node.annotation
+            if (
+                not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != receiver
+            ):
+                continue
+            attr = target.attr
+            refs: Tuple[str, ...] = ()
+            if annotation is not None:
+                refs = annotation_refs(annotation, ctx)
+            elif isinstance(value, ast.Call):
+                # ``self.attr = SomeClass(...)`` — non-class callables
+                # simply fail to resolve to a project class later
+                constructed = ctx.resolve(value.func)
+                if constructed is not None:
+                    refs = (constructed,)
+            elif isinstance(value, ast.Name) and value.id in func.param_type_refs:
+                refs = func.param_type_refs[value.id]
+            if refs:
+                field_refs.setdefault(attr, set()).update(refs)
+
+    def _register_function(
+        self,
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        info: ModuleInfo,
+        ctx: RuleContext,
+        class_name: str,
+        annotations: Dict[int, Annotation],
+        claimed: Set[int],
+    ) -> FunctionInfo:
+        if class_name:
+            qualname = f"{info.name}.{class_name}.{node.name}"
+        else:
+            qualname = f"{info.name}.{node.name}"
+
+        is_property = False
+        is_static = False
+        is_classmethod = False
+        has_memo = False
+        setter_for = ""
+        unknown: List[str] = []
+        for decorator in node.decorator_list:
+            name = _decorator_name(decorator, ctx)
+            if name == "property":
+                is_property = True
+            elif name == "staticmethod":
+                is_static = True
+            elif name == "classmethod":
+                is_classmethod = True
+            elif name in MEMO_DECORATORS or name.split(".")[-1] == "lru_cache":
+                has_memo = True
+            elif name == "setter" or name.endswith(".setter"):
+                target = decorator
+                if isinstance(target, ast.Attribute) and isinstance(target.value, ast.Name):
+                    setter_for = target.value.id
+            elif name == "getter" or name.endswith(".getter"):
+                is_property = True
+            elif name in BENIGN_DECORATORS or name.split(".")[-1] == "wraps":
+                pass
+            else:
+                unknown.append(name)
+
+        all_args = (
+            list(node.args.posonlyargs)
+            + list(node.args.args)
+            + list(node.args.kwonlyargs)
+        )
+        arg_names = [a.arg for a in node.args.posonlyargs] + [a.arg for a in node.args.args]
+        receiver = ""
+        if class_name and not is_static and arg_names:
+            receiver = arg_names[0]
+            arg_names = arg_names[1:]
+        arg_names += [a.arg for a in node.args.kwonlyargs]
+        has_varargs = node.args.vararg is not None or node.args.kwarg is not None
+        param_type_refs: Dict[str, Tuple[str, ...]] = {}
+        for arg in all_args:
+            if arg.arg == receiver or arg.annotation is None:
+                continue
+            refs = annotation_refs(arg.annotation, ctx)
+            if refs:
+                param_type_refs[arg.arg] = refs
+        return_type_refs = annotation_refs(node.returns, ctx)
+
+        annotation = self._claim_annotation(node, ctx, annotations, claimed)
+        func = FunctionInfo(
+            qualname=qualname,
+            module=info.name,
+            path=info.path,
+            lineno=node.lineno,
+            node=node,
+            class_name=class_name,
+            params=tuple(arg_names),
+            receiver=receiver if not is_classmethod else receiver,
+            has_varargs=has_varargs,
+            is_property=is_property,
+            setter_for=setter_for,
+            is_static=is_static,
+            has_memo_decorator=has_memo,
+            unknown_decorators=tuple(sorted(unknown)),
+            annotation=annotation,
+            param_type_refs=param_type_refs,
+            return_type_refs=return_type_refs,
+        )
+        self.functions[qualname] = func
+        return func
+
+    def _claim_annotation(
+        self,
+        node: Union[ast.FunctionDef, ast.AsyncFunctionDef],
+        ctx: RuleContext,
+        annotations: Dict[int, Annotation],
+        claimed: Set[int],
+    ) -> Optional[Annotation]:
+        """Attach the nearest declaration comment to this ``def``.
+
+        A declaration may sit on the ``def`` line itself, on a decorator
+        line, or on a contiguous comment block immediately above the
+        first decorator / the ``def``.
+        """
+        candidates = [node.lineno] + [d.lineno for d in node.decorator_list]
+        first = min(candidates)
+        lineno = first - 1
+        while lineno >= 1 and _is_comment_or_blank(ctx.lines[lineno - 1]):
+            candidates.append(lineno)
+            stripped = ctx.lines[lineno - 1].strip()
+            if not stripped:
+                break
+            lineno -= 1
+        for candidate in candidates:
+            annotation = annotations.get(candidate)
+            if annotation is not None and candidate not in claimed:
+                claimed.add(candidate)
+                return annotation
+        return None
+
+    # -- finalisation ---------------------------------------------------
+    def finalise(self) -> None:
+        """Build cross-module indexes (subclasses, name joins)."""
+        by_name: Dict[str, Set[str]] = {}
+        prop_by_name: Dict[str, Set[str]] = {}
+        for cls in self.classes.values():
+            for method_name, qualname in cls.methods.items():
+                by_name.setdefault(method_name, set()).add(qualname)
+            for prop_name, qualname in cls.properties.items():
+                prop_by_name.setdefault(prop_name, set()).add(qualname)
+            for base in cls.bases:
+                base_cls = self._resolve_class_ref(base, cls.module)
+                if base_cls is not None:
+                    base_cls.subclasses.append(cls.qualname)
+        for cls in self.classes.values():
+            cls.subclasses.sort()
+        self.methods_by_name = {
+            name: sorted(quals) for name, quals in by_name.items()
+        }
+        self.properties_by_name = {
+            name: sorted(quals) for name, quals in prop_by_name.items()
+        }
+
+    def _resolve_class_ref(self, dotted: str, module: str) -> Optional[ClassInfo]:
+        """Find the :class:`ClassInfo` a base-class reference points at."""
+        if dotted in self.classes:
+            return self.classes[dotted]
+        local = f"{module}.{dotted}"
+        if local in self.classes:
+            return self.classes[local]
+        # ``pkg.mod.Class`` resolved through an import alias already gives
+        # the canonical path; a bare name may also shadow via ctx aliases,
+        # which ``ctx.resolve`` handled before we got here.
+        return None
+
+    # -- lookup helpers -------------------------------------------------
+    def resolve_class(self, ref: str, module: str) -> Optional[ClassInfo]:
+        """Resolve a type reference (local or canonical) to a class."""
+        return self._resolve_class_ref(ref, module)
+
+    def field_classes(self, cls: ClassInfo, attr: str) -> List[ClassInfo]:
+        """Classes the typed field ``attr`` may hold, across the MRO."""
+        found: Dict[str, ClassInfo] = {}
+        for candidate in self.mro_classes(cls):
+            for ref in candidate.field_type_refs.get(attr, ()):
+                resolved = self._resolve_class_ref(ref, candidate.module)
+                if resolved is not None:
+                    found[resolved.qualname] = resolved
+        return [found[name] for name in sorted(found)]
+
+    def class_of(self, func: FunctionInfo) -> Optional[ClassInfo]:
+        """The class a method belongs to, if any."""
+        if not func.class_name:
+            return None
+        return self.classes.get(f"{func.module}.{func.class_name}")
+
+    def mro_classes(self, cls: ClassInfo) -> List[ClassInfo]:
+        """This class plus every resolvable project ancestor."""
+        seen: Set[str] = set()
+        order: List[ClassInfo] = []
+        stack = [cls]
+        while stack:
+            current = stack.pop(0)
+            if current.qualname in seen:
+                continue
+            seen.add(current.qualname)
+            order.append(current)
+            for base in current.bases:
+                base_cls = self._resolve_class_ref(base, current.module)
+                if base_cls is not None:
+                    stack.append(base_cls)
+        return order
+
+    def override_targets(self, cls: ClassInfo, method: str) -> List[str]:
+        """Resolutions of ``self.method()``: own/ancestor defs plus every
+        subclass override (a base-class caller may dispatch to any)."""
+        targets: Set[str] = set()
+        for candidate in self.mro_classes(cls):
+            if method in candidate.methods:
+                targets.add(candidate.methods[method])
+                break
+        stack = list(cls.subclasses)
+        seen: Set[str] = set()
+        while stack:
+            sub_name = stack.pop(0)
+            if sub_name in seen:
+                continue
+            seen.add(sub_name)
+            sub = self.classes.get(sub_name)
+            if sub is None:
+                continue
+            if method in sub.methods:
+                targets.add(sub.methods[method])
+            stack.extend(sub.subclasses)
+        return sorted(targets)
+
+    def property_targets(self, cls: ClassInfo, attr: str) -> List[str]:
+        """Getter qualnames for ``self.attr`` when ``attr`` is a property."""
+        targets: Set[str] = set()
+        for candidate in self.mro_classes(cls):
+            if attr in candidate.properties:
+                targets.add(candidate.properties[attr])
+                break
+        return sorted(targets)
+
+    def declared(self, kind: str) -> List[FunctionInfo]:
+        """All functions carrying a declaration of ``kind``, sorted."""
+        found = [
+            func
+            for func in self.functions.values()
+            if func.annotation is not None and func.annotation.kind == kind
+        ]
+        return sorted(found, key=lambda f: f.qualname)

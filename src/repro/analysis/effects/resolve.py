@@ -1,0 +1,254 @@
+"""Conservative call resolution for the effect pass.
+
+Resolution order for a call expression:
+
+1. dotted path through the module's import-alias table → project
+   function/class registry, else the stdlib/numpy whitelist tables;
+2. ``self.method()`` → precise class resolution (own def, project
+   ancestors, plus every project subclass override — method dispatch
+   may land in any of them);
+3. other ``obj.method()`` → join of every project class defining that
+   method name, unioned with the generic method tables (the receiver
+   might equally be a plain dict/list);
+4. anything else → :data:`~.model.UNRESOLVED_CALL` poison.
+
+The tables are allow-lists: an unknown name is never assumed pure.
+"""
+
+from __future__ import annotations
+
+# -- dotted-path tables ------------------------------------------------------
+
+#: call of these builtins/dotted names has no effect of its own
+PURE_CALLS = frozenset(
+    {
+        "abs", "all", "any", "bool", "bytes", "callable", "chr", "dict",
+        "divmod", "enumerate", "filter", "float", "format", "frozenset",
+        "getattr", "hasattr", "hash", "id", "int", "isinstance",
+        "issubclass", "iter", "len", "list", "map", "max", "min", "object",
+        "ord", "pow", "range", "repr", "reversed", "round", "set", "slice",
+        "sorted", "str", "sum", "tuple", "type", "vars", "zip",
+        "ValueError", "TypeError", "KeyError", "IndexError", "RuntimeError",
+        "StopIteration", "NotImplementedError", "AttributeError",
+        "ArithmeticError", "ZeroDivisionError", "OverflowError", "Exception",
+        "AssertionError", "LookupError", "FloatingPointError",
+        "super",
+    }
+)
+
+#: dotted prefixes whose calls are effect-free (or return fresh values)
+PURE_PREFIXES = (
+    "math.",
+    "cmath.",
+    "json.",
+    "re.",
+    "operator.",
+    "statistics.",
+    "string.",
+    "textwrap.",
+    "itertools.",
+    "collections.",
+    "dataclasses.",
+    "fractions.",
+    "decimal.",
+    "hashlib.",
+    "struct.",
+    "uuid.UUID",
+    "enum.",
+    "abc.",
+    "typing.",
+    "contextlib.",
+    "functools.partial",
+    "functools.reduce",
+    "functools.cmp_to_key",
+    "copy.copy",
+    "copy.deepcopy",
+    "heapq.nlargest",
+    "heapq.nsmallest",
+    "heapq.merge",
+    "bisect.bisect",
+    "bisect.bisect_left",
+    "bisect.bisect_right",
+    "warnings.warn",
+    "os.path.",
+    "posixpath.",
+    "difflib.",
+    "unicodedata.",
+)
+
+#: numpy namespaces that are effect-free value constructors/kernels
+PURE_NUMPY_PREFIXES = (
+    "numpy.",
+)
+
+#: numpy.random names that construct seeded generators (fresh values)
+FRESH_NUMPY_RANDOM = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.SeedSequence",
+        "numpy.random.BitGenerator",
+    }
+)
+
+#: dotted names whose call mutates their first argument
+ARG0_MUTATORS = frozenset(
+    {
+        "bisect.insort",
+        "bisect.insort_left",
+        "bisect.insort_right",
+        "heapq.heappush",
+        "heapq.heappop",
+        "heapq.heapreplace",
+        "heapq.heappushpop",
+        "heapq.heapify",
+        "setattr",
+        "delattr",
+        "next",
+    }
+)
+
+#: dotted prefixes that perform process-external I/O
+IO_PREFIXES = (
+    "print",
+    "input",
+    "open",
+    "os.",
+    "sys.",
+    "subprocess.",
+    "shutil.",
+    "socket.",
+    "logging.",
+    "io.",
+    "tempfile.",
+    "pickle.dump",
+    "pickle.load",
+    "csv.",
+    "sqlite3.",
+    "urllib.",
+    "http.",
+)
+
+#: module-level RNG draws (unseedable shared global state)
+RNG_PREFIXES = (
+    "random.",
+    "numpy.random.seed",
+    "numpy.random.random",
+    "numpy.random.rand",
+    "numpy.random.randn",
+    "numpy.random.randint",
+    "numpy.random.choice",
+    "numpy.random.shuffle",
+    "numpy.random.permutation",
+    "numpy.random.normal",
+    "numpy.random.uniform",
+    "numpy.random.get_state",
+    "numpy.random.set_state",
+    "secrets.",
+)
+
+#: host wall-clock reads (nondeterministic under sharding)
+WALL_PREFIXES = (
+    "time.",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+)
+
+#: dynamic dispatch the analysis refuses to bound
+UNKNOWN_CALLS = frozenset({"eval", "exec", "__import__", "globals", "locals", "compile"})
+
+# -- method-name tables ------------------------------------------------------
+
+#: receiver-preserving reads on builtin containers / numpy arrays / str
+PURE_METHODS = frozenset(
+    {
+        # mapping/sequence reads
+        "get", "keys", "values", "items", "copy", "count", "index",
+        "most_common", "elements", "total",
+        # str reads
+        "split", "rsplit", "splitlines", "strip", "lstrip", "rstrip",
+        "join", "startswith", "endswith", "lower", "upper", "title",
+        "casefold", "format", "format_map", "replace", "find", "rfind",
+        "partition", "rpartition", "encode", "decode", "zfill", "ljust",
+        "rjust", "center", "isdigit", "isalpha", "isalnum", "isspace",
+        "isidentifier", "capitalize", "translate", "maketrans",
+        # numpy array reads (fresh results)
+        "sum", "max", "min", "argmax", "argmin", "mean", "std", "var",
+        "dot", "astype", "reshape", "flatten", "ravel", "nonzero",
+        "cumsum", "cumprod", "item", "tolist", "squeeze", "transpose",
+        "clip", "round", "repeat", "take", "searchsorted", "argsort",
+        "tobytes", "view", "any", "all", "prod", "conj", "trace",
+        # hashes / misc value types
+        "digest", "hexdigest", "hex", "bit_length", "to_bytes", "from_bytes",
+        "as_integer_ratio", "is_integer", "total_seconds", "isoformat",
+        "union", "intersection", "difference", "symmetric_difference",
+        "issubset", "issuperset", "isdisjoint",
+        # dataclass/typing helpers
+        "mro",
+    }
+)
+
+#: methods that mutate their receiver
+MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+        "update", "add", "discard", "sort", "reverse", "setdefault",
+        "move_to_end", "appendleft", "popleft", "extendleft", "rotate",
+        "fill", "sort_values", "put", "subtract", "intersection_update",
+        "difference_update", "symmetric_difference_update",
+        "__setitem__", "__delitem__",
+    }
+)
+
+#: RNG draw methods on generator objects; receiver provenance decides
+#: whether the draw is threaded (parameter) or shared
+RNG_METHODS = frozenset(
+    {
+        "normal", "uniform", "random", "integers", "choice", "shuffle",
+        "permutation", "standard_normal", "exponential", "poisson",
+        "binomial", "multinomial", "beta", "gamma", "lognormal",
+        "laplace", "geometric", "spawn",
+    }
+)
+
+#: I/O methods (file-like receivers)
+IO_METHODS = frozenset(
+    {
+        "write", "writelines", "read", "readline", "readlines", "flush",
+        "close", "seek", "truncate", "write_text", "read_text",
+        "write_bytes", "read_bytes", "mkdir", "rmdir", "unlink", "touch",
+        "rename", "symlink_to", "open",
+    }
+)
+
+#: stdlib module roots we recognise; dotted calls rooted elsewhere that
+#: match no table resolve to UNKNOWN rather than silently passing
+KNOWN_STDLIB_ROOTS = frozenset(
+    {
+        "math", "cmath", "json", "re", "operator", "statistics", "string",
+        "textwrap", "itertools", "collections", "dataclasses", "functools",
+        "fractions", "decimal", "hashlib", "struct", "uuid", "enum", "abc",
+        "typing", "contextlib", "copy", "heapq", "bisect", "warnings",
+        "numpy", "random", "secrets", "time", "datetime", "os", "sys",
+        "subprocess", "shutil", "socket", "logging", "io", "tempfile",
+        "pickle", "csv", "sqlite3", "urllib", "http", "pathlib", "difflib",
+        "unicodedata", "posixpath", "argparse", "ast", "inspect",
+    }
+)
+
+
+def matches_prefix(dotted: str, prefixes: "tuple[str, ...]") -> bool:
+    """Whether ``dotted`` equals or extends any entry in ``prefixes``."""
+    for prefix in prefixes:
+        if prefix.endswith("."):
+            if dotted.startswith(prefix) or dotted == prefix[:-1]:
+                return True
+        elif dotted == prefix or dotted.startswith(prefix + "."):
+            return True
+    return False

@@ -1,0 +1,202 @@
+"""AGR100-series rules: certification of ``# agora: shard-safe`` roots.
+
+The interprocedural verdicts turn into engine-style violations so the
+existing suppression and reporter machinery applies unchanged:
+
+AGR101
+    shared-state mutation (global/instance write, memo, I/O, wall clock)
+    reachable from a function declared ``# agora: shard-safe``.
+AGR102
+    RNG draw without a threaded generator parameter on a shard-safe path.
+AGR103
+    unresolved dynamic call inside a shard-safe region — the analysis
+    refuses to certify what it cannot bound.
+AGR104
+    stale declaration: a ``# agora: worker-local`` annotation that drops
+    no effect (the function already verifies without trust), or an
+    ``# agora:`` annotation attached to no function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.effects.fixpoint import EffectsResult
+from repro.analysis.effects.model import (
+    IO,
+    MEMO,
+    MUTATES_SHARED,
+    RNG_DRAW,
+    UNKNOWN,
+    WALL_CLOCK,
+    WRITE_ARG,
+    WRITE_GLOBAL,
+    WRITE_SELF,
+    Effect,
+    iter_sorted,
+)
+from repro.analysis.effects.project import SHARD_SAFE, FunctionInfo
+from repro.analysis.engine import (
+    AnalysisReport,
+    FileReport,
+    apply_suppressions,
+)
+from repro.analysis.suppressions import parse_suppressions
+from repro.analysis.violations import Violation
+
+AGR101 = "AGR101"
+AGR102 = "AGR102"
+AGR103 = "AGR103"
+AGR104 = "AGR104"
+
+EFFECTS_RULE_IDS = frozenset({AGR101, AGR102, AGR103, AGR104})
+
+_MUTATION_KINDS = frozenset(
+    {WRITE_GLOBAL, WRITE_SELF, WRITE_ARG, MEMO, IO, WALL_CLOCK}
+)
+
+#: rule id -> (title, rationale) for reporting/docs
+RULE_DOCS: Dict[str, Tuple[str, str]] = {
+    AGR101: (
+        "shard-unsafe mutation on a certified path",
+        "a # agora: shard-safe function reaches a write to shared state; "
+        "running it in a worker pool would diverge across workers",
+    ),
+    AGR102: (
+        "unthreaded RNG draw on a certified path",
+        "a shard-safe path draws randomness that is not threaded in as a "
+        "parameter, so per-worker streams cannot be reproduced",
+    ),
+    AGR103: (
+        "unresolved dynamic call on a certified path",
+        "the analysis cannot bound a callee reachable from a shard-safe "
+        "root; certification refuses to guess",
+    ),
+    AGR104: (
+        "stale shard-safety declaration",
+        "a # agora: worker-local declaration attests nothing (or an "
+        "annotation attaches to no function) and must be removed",
+    ),
+}
+
+
+def _rule_for(effect: Effect) -> str:
+    if effect.kind == RNG_DRAW:
+        return AGR102
+    if effect.severity == UNKNOWN:
+        return AGR103
+    return AGR101
+
+
+def _witness(root: str, chain: Tuple[str, ...]) -> str:
+    return " -> ".join((root,) + chain)
+
+
+def effects_violations(result: EffectsResult) -> List[Violation]:
+    """All AGR10x violations implied by ``result`` (unsuppressed)."""
+    violations: List[Violation] = []
+    for func in result.index.declared(SHARD_SAFE):
+        violations.extend(_root_violations(result, func))
+    for qualname in result.stale_declarations:
+        func = result.index.functions[qualname]
+        annotation = func.annotation
+        assert annotation is not None
+        violations.append(
+            Violation(
+                path=func.path,
+                line=annotation.lineno,
+                col=0,
+                rule_id=AGR104,
+                message=(
+                    f"stale worker-local declaration on '{qualname}': the "
+                    "analysis drops no effect for it; remove the annotation"
+                ),
+            )
+        )
+    for annotation in result.index.dangling:
+        violations.append(
+            Violation(
+                path=annotation.path,
+                line=annotation.lineno,
+                col=0,
+                rule_id=AGR104,
+                message=(
+                    f"dangling '# agora: {annotation.kind}' annotation: it "
+                    "attaches to no function definition"
+                ),
+            )
+        )
+    return sorted(violations)
+
+
+def _root_violations(
+    result: EffectsResult, func: FunctionInfo
+) -> List[Violation]:
+    summary = result.exported.get(func.qualname, {})
+    violations: List[Violation] = []
+    for effect, chain in iter_sorted(summary):
+        if effect.severity not in (MUTATES_SHARED, UNKNOWN):
+            continue
+        rule_id = _rule_for(effect)
+        witness = _witness(func.qualname, chain)
+        violations.append(
+            Violation(
+                path=func.path,
+                line=func.lineno,
+                col=0,
+                rule_id=rule_id,
+                message=(
+                    f"'{func.qualname}' is declared shard-safe but "
+                    f"{effect.reason} [witness: {witness}]"
+                ),
+            )
+        )
+    return violations
+
+
+def build_report(result: EffectsResult) -> AnalysisReport:
+    """Wrap the AGR10x violations in the engine's report shape.
+
+    Suppressions in the affected files apply exactly as they do for the
+    per-file rules, and unused AGR10x suppressions are reported as
+    AGR000 (this run executes the whole AGR10x family, so an
+    ``ignore[AGR101]`` that matches nothing here *is* stale).
+    """
+    by_path: Dict[str, List[Violation]] = {}
+    for violation in effects_violations(result):
+        by_path.setdefault(violation.path, []).append(violation)
+
+    report = AnalysisReport()
+    paths = set(by_path)
+    # every analysed file participates so stale AGR10x suppressions are
+    # caught even in files with no violations
+    module_paths: Dict[str, str] = {}
+    for module in result.index.modules.values():
+        paths.add(module.path)
+        module_paths[module.path] = module.name
+    for path in sorted(paths):
+        module = result.index.modules.get(module_paths.get(path, ""))
+        source = module.ctx.source if module is not None else ""
+        suppressions = parse_suppressions(source, path)
+        active, silenced, marked = apply_suppressions(
+            by_path.get(path, []),
+            suppressions,
+            executed_rule_ids=set(EFFECTS_RULE_IDS),
+            flag_unused=True,
+        )
+        if not active and not silenced and not marked:
+            continue
+        report.files.append(
+            FileReport(
+                path=path,
+                module=module.name if module is not None else None,
+                violations=active,
+                suppressed=silenced,
+                suppressions=marked,
+            )
+        )
+    for path, error in sorted(result.index.parse_errors):
+        report.files.append(
+            FileReport(path=path, module=None, parse_error=error)
+        )
+    return report

@@ -19,6 +19,73 @@ from repro.analysis.violations import Suppression, Violation
 
 _MODULE_OVERRIDE_PREFIX = "# module:"
 
+#: rule id for "this suppression silences nothing" (mirrors unused-noqa)
+UNUSED_SUPPRESSION_RULE_ID = "AGR000"
+
+
+def apply_suppressions(
+    raw: Sequence[Violation],
+    suppressions: Sequence[Suppression],
+    executed_rule_ids: Optional[Set[str]] = None,
+    flag_unused: bool = False,
+) -> Tuple[List[Violation], List[Violation], List[Suppression]]:
+    """Match violations against inline suppressions.
+
+    Returns ``(active, silenced, marked)`` where ``marked`` carries the
+    ``used`` flag per suppression.  With ``flag_unused`` set, an unused
+    suppression raises an :data:`UNUSED_SUPPRESSION_RULE_ID` violation —
+    but only when *every* rule id it lists belongs to
+    ``executed_rule_ids``: a run that never executes AGR101 must not
+    declare an ``ignore[AGR101]`` stale.  A suppression listing
+    ``AGR000`` itself silences its own unused-report (the escape hatch
+    for intentionally speculative suppressions).
+    """
+    active: List[Violation] = []
+    silenced: List[Violation] = []
+    used_keys: Set[Tuple[int, Tuple[str, ...]]] = set()
+    for violation in sorted(raw):
+        covering = next((s for s in suppressions if s.covers(violation)), None)
+        if covering is None:
+            active.append(violation)
+        else:
+            silenced.append(violation)
+            used_keys.add((covering.line, covering.rule_ids))
+    if flag_unused:
+        executed = set(executed_rule_ids or ())
+        executed.add(UNUSED_SUPPRESSION_RULE_ID)
+        for suppression in suppressions:
+            if (suppression.line, suppression.rule_ids) in used_keys:
+                continue
+            if not all(rid in executed for rid in suppression.rule_ids):
+                continue
+            listed = ",".join(suppression.rule_ids)
+            violation = Violation(
+                path=suppression.path,
+                line=suppression.line,
+                col=0,
+                rule_id=UNUSED_SUPPRESSION_RULE_ID,
+                message=(
+                    f"unused suppression [{listed}]: no violation on this "
+                    "line matches it; remove the stale comment"
+                ),
+            )
+            if UNUSED_SUPPRESSION_RULE_ID in suppression.rule_ids:
+                silenced.append(violation)
+                used_keys.add((suppression.line, suppression.rule_ids))
+            else:
+                active.append(violation)
+    marked = [
+        Suppression(
+            path=s.path,
+            line=s.line,
+            rule_ids=s.rule_ids,
+            reason=s.reason,
+            used=(s.line, s.rule_ids) in used_keys,
+        )
+        for s in suppressions
+    ]
+    return sorted(active), sorted(silenced), marked
+
 
 @dataclass
 class FileReport:
@@ -79,11 +146,12 @@ def module_name_for(path: Union[str, Path]) -> Optional[str]:
     """Derive the dotted module name of a file under a ``src`` layout.
 
     ``.../src/repro/sim/kernel.py`` → ``repro.sim.kernel``;
-    ``__init__.py`` maps to its package.  Returns ``None`` for files not
-    under a ``repro`` package root.
+    ``__init__.py`` maps to its package.  The ``benchmarks`` and
+    ``examples`` trees are anchored the same way so the lint sweep
+    covers them.  Returns ``None`` for files outside every known root.
     """
     parts = Path(path).with_suffix("").parts
-    for anchor in ("repro",):
+    for anchor in ("repro", "benchmarks", "examples"):
         if anchor in parts:
             index = parts.index(anchor)
             dotted = list(parts[index:])
@@ -104,8 +172,14 @@ def _module_override(source: str) -> Optional[str]:
 class AnalysisEngine:
     """Runs a rule set over source files and applies suppressions."""
 
-    def __init__(self, rules: Optional[Sequence[Rule]] = None):
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        flag_unused_suppressions: bool = True,
+    ):
         self.rules: Tuple[Rule, ...] = tuple(rules if rules is not None else DEFAULT_RULES)
+        #: report stale ``# agora: ignore[...]`` comments as AGR000
+        self.flag_unused_suppressions = flag_unused_suppressions
 
     # ------------------------------------------------------------------
     def check_source(
@@ -135,28 +209,12 @@ class AnalysisEngine:
         for rule in self.rules:
             raw.extend(rule.check(ctx))
         suppressions = parse_suppressions(source, path)
-        active: List[Violation] = []
-        silenced: List[Violation] = []
-        used_lines: Set[Tuple[int, Tuple[str, ...]]] = set()
-        for violation in sorted(raw):
-            covering = next(
-                (s for s in suppressions if s.covers(violation)), None
-            )
-            if covering is None:
-                active.append(violation)
-            else:
-                silenced.append(violation)
-                used_lines.add((covering.line, covering.rule_ids))
-        marked = [
-            Suppression(
-                path=s.path,
-                line=s.line,
-                rule_ids=s.rule_ids,
-                reason=s.reason,
-                used=(s.line, s.rule_ids) in used_lines,
-            )
-            for s in suppressions
-        ]
+        active, silenced, marked = apply_suppressions(
+            raw,
+            suppressions,
+            executed_rule_ids={rule.rule_id for rule in self.rules},
+            flag_unused=self.flag_unused_suppressions,
+        )
         return FileReport(
             path=path,
             module=module,

@@ -21,77 +21,97 @@ of ``repro.query`` (executor, adaptive re-planning) sits above sources.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+#: The single source of truth for the layer DAG.  One line per package
+#: (``package -> deps``); indented lines continue the previous entry.
+#: The fenced ``layers`` block in DESIGN.md §3 must stay byte-identical
+#: to this table — ``tests/analysis/test_layering.py`` enforces parity,
+#: so the docs cannot drift from the checker again.
+LAYER_TABLE = """\
+obs             ->
+sim             -> obs
+analysis        ->
+trust           ->
+experiments     -> obs
+data            -> sim
+net             -> obs sim
+qos             -> obs sim
+uncertainty     -> data obs sim
+resilience      -> net obs qos sim
+sources         -> data net obs qos sim trust uncertainty
+query           -> data obs qos resilience sim sources uncertainty
+negotiation     -> qos sim
+personalization -> data negotiation qos uncertainty
+context         -> personalization qos
+social          -> data personalization trust uncertainty
+multimodal      -> data personalization query sim sources uncertainty
+collaboration   -> data personalization query uncertainty
+optimizer       -> negotiation qos query sim sources trust uncertainty
+core            -> context data multimodal negotiation net obs optimizer
+                   personalization qos query resilience sim social
+                   sources trust uncertainty
+workloads       -> core data multimodal obs personalization qos query
+                   sim social uncertainty
+"""
+
+
+def parse_layer_table(table: str) -> Dict[str, FrozenSet[str]]:
+    """Parse the declared table into package -> allowed-import sets.
+
+    Validates the result: every dependency must itself be declared, and
+    the graph must be acyclic — a bad edit fails at import time rather
+    than silently weakening the checker.
+    """
+    deps: Dict[str, List[str]] = {}
+    current: Optional[str] = None
+    for raw in table.splitlines():
+        if not raw.strip():
+            continue
+        if raw[0].isspace():
+            if current is None:
+                raise ValueError(f"continuation line with no entry: {raw!r}")
+            deps[current].extend(raw.split())
+            continue
+        head, sep, tail = raw.partition("->")
+        if not sep:
+            raise ValueError(f"layer table line missing '->': {raw!r}")
+        current = head.strip()
+        if current in deps:
+            raise ValueError(f"duplicate layer entry: {current}")
+        deps[current] = tail.split()
+    parsed = {pkg: frozenset(pkg_deps) for pkg, pkg_deps in deps.items()}
+    for pkg, pkg_deps in parsed.items():
+        unknown = pkg_deps - parsed.keys()
+        if unknown:
+            raise ValueError(
+                f"{pkg} depends on undeclared packages: {sorted(unknown)}"
+            )
+    _check_acyclic(parsed)
+    return parsed
+
+
+def _check_acyclic(deps: Dict[str, FrozenSet[str]]) -> None:
+    state: Dict[str, int] = {}  # 1 = on stack, 2 = done
+
+    def visit(pkg: str, stack: Tuple[str, ...]) -> None:
+        mark = state.get(pkg)
+        if mark == 2:
+            return
+        if mark == 1:
+            cycle = stack[stack.index(pkg):] + (pkg,)
+            raise ValueError(f"layer DAG has a cycle: {' -> '.join(cycle)}")
+        state[pkg] = 1
+        for dep in sorted(deps[pkg]):
+            visit(dep, stack + (pkg,))
+        state[pkg] = 2
+
+    for pkg in sorted(deps):
+        visit(pkg, ())
+
 
 #: package -> packages it may import at runtime (besides itself/stdlib).
-LAYER_DEPS: Dict[str, FrozenSet[str]] = {
-    # The observability substrate is the true bottom: even the sim kernel
-    # records into it (span propagation, registry-backed traces), so it
-    # must import nothing from the library at all.
-    "obs": frozenset(),
-    "sim": frozenset({"obs"}),
-    "analysis": frozenset(),
-    "trust": frozenset(),
-    "experiments": frozenset({"obs"}),
-    "data": frozenset({"sim"}),
-    "net": frozenset({"obs", "sim"}),
-    "qos": frozenset({"obs", "sim"}),
-    "uncertainty": frozenset({"data", "obs", "sim"}),
-    "resilience": frozenset({"net", "obs", "qos", "sim"}),
-    "sources": frozenset(
-        {"data", "net", "obs", "qos", "sim", "trust", "uncertainty"}
-    ),
-    "query": frozenset(
-        {"data", "obs", "qos", "resilience", "sim", "sources", "uncertainty"}
-    ),
-    "negotiation": frozenset({"qos", "sim"}),
-    "personalization": frozenset({"data", "negotiation", "qos", "uncertainty"}),
-    "context": frozenset({"personalization", "qos"}),
-    "social": frozenset({"data", "personalization", "trust", "uncertainty"}),
-    "multimodal": frozenset(
-        {"data", "personalization", "query", "sim", "sources", "uncertainty"}
-    ),
-    "collaboration": frozenset(
-        {"data", "personalization", "query", "uncertainty"}
-    ),
-    "optimizer": frozenset(
-        {"negotiation", "qos", "query", "sim", "sources", "trust", "uncertainty"}
-    ),
-    "core": frozenset(
-        {
-            "context",
-            "data",
-            "multimodal",
-            "negotiation",
-            "net",
-            "obs",
-            "optimizer",
-            "personalization",
-            "qos",
-            "query",
-            "resilience",
-            "sim",
-            "social",
-            "sources",
-            "trust",
-            "uncertainty",
-        }
-    ),
-    "workloads": frozenset(
-        {
-            "core",
-            "data",
-            "multimodal",
-            "obs",
-            "personalization",
-            "qos",
-            "query",
-            "sim",
-            "social",
-            "uncertainty",
-        }
-    ),
-}
+LAYER_DEPS: Dict[str, FrozenSet[str]] = parse_layer_table(LAYER_TABLE)
 
 #: Modules pinned beneath their home package: importer package -> modules
 #: it may import from otherwise-forbidden packages.

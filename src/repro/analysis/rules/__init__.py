@@ -32,6 +32,14 @@ DEFAULT_RULES: Tuple[Rule, ...] = (
 
 RULE_INDEX: Dict[str, Rule] = {rule.rule_id: rule for rule in DEFAULT_RULES}
 
+for _rule in DEFAULT_RULES:
+    if not _rule.rule_id or _rule.rule_id == "AGR000":
+        raise RuntimeError(
+            f"{type(_rule).__name__} must declare a unique rule_id "
+            "(AGR000 is reserved for unused-suppression findings)"
+        )
+del _rule
+
 __all__ = [
     "DEFAULT_RULES",
     "RULE_INDEX",

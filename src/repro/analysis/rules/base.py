@@ -98,7 +98,10 @@ class RuleContext:
 class Rule(ABC):
     """One statically checkable determinism/simulation-safety contract."""
 
-    rule_id: str = "AGR000"
+    # AGR000 is reserved for the engine's unused-suppression finding, so
+    # the placeholder must not collide with it; a registered rule that
+    # forgets to set its id fails registry validation loudly instead.
+    rule_id: str = ""
     title: str = ""
     rationale: str = ""
 

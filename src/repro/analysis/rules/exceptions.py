@@ -50,7 +50,7 @@ class OverbroadExceptRule(Rule):
     )
 
     def check(self, ctx: RuleContext) -> Iterator[Violation]:
-        if not ctx.in_package("repro"):
+        if not ctx.in_package("repro", "benchmarks", "examples"):
             return
         strict = ctx.in_package(*_STRICT_PACKAGES)
         for node in ast.walk(ctx.tree):

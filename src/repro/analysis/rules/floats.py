@@ -58,7 +58,7 @@ class FloatTimeEqualityRule(Rule):
     )
 
     def check(self, ctx: RuleContext) -> Iterator[Violation]:
-        if not ctx.in_package("repro"):
+        if not ctx.in_package("repro", "benchmarks", "examples"):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Compare):

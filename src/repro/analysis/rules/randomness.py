@@ -43,7 +43,7 @@ class UnseededRandomnessRule(Rule):
     )
 
     def check(self, ctx: RuleContext) -> Iterator[Violation]:
-        if not ctx.in_package("repro"):
+        if not ctx.in_package("repro", "benchmarks", "examples"):
             return
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):

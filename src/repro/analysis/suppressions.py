@@ -1,20 +1,17 @@
 """Parsing of inline ``# agora: ignore[AGR00x] reason`` comments.
 
 The syntax mirrors mypy/ruff inline ignores so reviewers only learn one
-shape::
-
-    sim.schedule(delay, cb)  # agora: ignore[AGR003] order fixed upstream
-    value = draw()           # agora: ignore[AGR002,AGR004] seeded by caller
-
-A suppression silences the listed rules *on its own line only*.  The
-engine tracks which suppressions actually matched a violation so unused
-ones can be reported and removed.
+shape — a trailing comment naming the silenced rules and a reason, which
+covers its own line only.  The engine tracks which suppressions actually
+matched a violation so unused ones can be reported (AGR000) and removed.
 """
 
 from __future__ import annotations
 
+import io
 import re
-from typing import List
+import tokenize
+from typing import Iterable, List, Tuple
 
 from repro.analysis.violations import Suppression
 
@@ -24,17 +21,30 @@ _SUPPRESSION_RE = re.compile(
 )
 
 
-def parse_suppressions(source: str, path: str) -> List[Suppression]:
-    """Extract every suppression comment from ``source``.
+def _comment_lines(source: str) -> Iterable[Tuple[int, str]]:
+    """(lineno, text) for every real comment token in ``source``.
 
-    Comments are matched textually per line; a suppression inside a string
-    literal would be a false positive, but the marker is unusual enough
-    that this has not mattered in practice and keeps parsing independent
-    of tokenisation errors.
+    Tokenising keeps docstrings and string literals that merely *mention*
+    the grammar from counting as suppressions.  Files that fail to
+    tokenise fall back to a plain line scan — they already surface a
+    parse error through the engine, so over-matching there is harmless.
     """
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            yield lineno, line
+        return
+    for token in tokens:
+        if token.type == tokenize.COMMENT:
+            yield token.start[0], token.string
+
+
+def parse_suppressions(source: str, path: str) -> List[Suppression]:
+    """Extract every suppression comment from ``source``."""
     found: List[Suppression] = []
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESSION_RE.search(line)
+    for lineno, text in _comment_lines(source):
+        match = _SUPPRESSION_RE.search(text)
         if match is None:
             continue
         rule_ids = tuple(

@@ -104,6 +104,8 @@ class LruCache:
         if self._metrics is not None:
             self._metrics.counter(f"matching.cache.{self.name}.{event}").inc()
 
+    # agora: worker-local cache instance and its bound metrics registry are
+    # per-worker; entries are deterministic per item id, so workers converge
     def get_or_compute(self, key: object, compute: Callable[[], object]) -> object:
         """Cached value for ``key``, computing and inserting on miss."""
         try:
@@ -470,6 +472,8 @@ class CandidateBlock:
         self._lift_matrix = None
         self._lift_norms = None
 
+    # agora: worker-local bound state is derived deterministically from
+    # per-worker caches; each worker's lazily built copy is identical
     def bounds(self) -> BlockBounds:
         """Chunked score upper bounds over the pool (built lazily).
 
@@ -484,6 +488,8 @@ class CandidateBlock:
         return self._bounds
 
     # -- lazily stacked matrices ----------------------------------------
+    # agora: worker-local dense view over per-worker feature caches,
+    # rebuilt identically by every worker on first use
     def _media_rows(self) -> np.ndarray:
         if self._media_matrix is None:
             media = self.engine.media
@@ -497,6 +503,8 @@ class CandidateBlock:
                 self._media_matrix = np.zeros((0, 0))
         return self._media_matrix
 
+    # agora: worker-local dense view over the per-worker lift cache,
+    # rebuilt identically by every worker on first use
     def _lift_rows(self) -> Tuple[np.ndarray, np.ndarray]:
         if self._lift_matrix is None or self._lift_norms is None:
             lifter = self.engine.cross.lifter
@@ -506,6 +514,7 @@ class CandidateBlock:
         return self._lift_matrix, self._lift_norms
 
     # -- scoring ---------------------------------------------------------
+    # agora: shard-safe
     def score(
         self, query: InformationItem, limit: Optional[int] = None
     ) -> np.ndarray:
@@ -517,6 +526,7 @@ class CandidateBlock:
         n = len(self.items) if limit is None else min(limit, len(self.items))
         return self.score_range(query, 0, n)
 
+    # agora: shard-safe
     def score_range(
         self, query: InformationItem, start: int, stop: int
     ) -> np.ndarray:
@@ -639,6 +649,7 @@ class MatchingEngine:
             "concept_lifts": self.cross.lifter._lifts,
         }
 
+    # agora: shard-safe
     def score(self, query: InformationItem, candidate: InformationItem) -> float:
         """Return a similarity score in [0, 1] for any item pair."""
         if isinstance(query, CompoundObject) or isinstance(candidate, CompoundObject):
@@ -649,10 +660,12 @@ class MatchingEngine:
             return self.media.score(query, candidate)
         return self.cross.score(query, candidate)
 
+    # agora: shard-safe
     def prepare(self, candidates: Sequence[InformationItem]) -> CandidateBlock:
         """Build reusable batch-scoring state over ``candidates``."""
         return CandidateBlock(self, candidates)
 
+    # agora: shard-safe
     def score_many(
         self, query: InformationItem, candidates: Sequence[InformationItem]
     ) -> np.ndarray:
@@ -662,12 +675,14 @@ class MatchingEngine:
         """
         return self.prepare(candidates).score(query)
 
+    # agora: shard-safe
     def rank(
         self, query: InformationItem, candidates: Sequence[InformationItem]
     ) -> List[Tuple[InformationItem, float]]:
         """Candidates with scores, best first (ties broken by item id)."""
         return self.rank_block(query, self.prepare(candidates))
 
+    # agora: shard-safe
     def rank_block(
         self,
         query: InformationItem,
@@ -683,6 +698,7 @@ class MatchingEngine:
         ]
         return sorted(scored, key=lambda pair: (-pair[1], pair[0].item_id))
 
+    # agora: shard-safe
     def rank_topk(
         self,
         query: InformationItem,
@@ -700,6 +716,7 @@ class MatchingEngine:
         )
         return ranked
 
+    # agora: shard-safe
     def rank_block_topk(
         self,
         query: InformationItem,
@@ -764,6 +781,7 @@ class MatchingEngine:
         self._observe_prune(stats)
         return top, stats
 
+    # agora: shard-safe
     def rank_pairwise(
         self, query: InformationItem, candidates: Sequence[InformationItem]
     ) -> List[Tuple[InformationItem, float]]:
@@ -775,6 +793,7 @@ class MatchingEngine:
         scored = [(item, self.score(query, item)) for item in candidates]
         return sorted(scored, key=lambda pair: (-pair[1], pair[0].item_id))
 
+    # agora: worker-local per-worker metrics registry, merged after the run
     def observe_domain_skip(self, n_candidates: int) -> PruneStats:
         """Record a whole-domain ceiling skip (no chunk even inspected).
 
@@ -795,6 +814,7 @@ class MatchingEngine:
             self._metrics.counter("matching.prune.domain_skips").inc()
         return stats
 
+    # agora: worker-local per-worker metrics registry, merged after the run
     def _observe_rank(self, batch_size: int) -> None:
         if self._metrics is not None:
             self._metrics.counter("matching.rank_calls").inc()
@@ -802,6 +822,7 @@ class MatchingEngine:
                 float(batch_size)
             )
 
+    # agora: worker-local per-worker metrics registry, merged after the run
     def _observe_prune(self, stats: PruneStats) -> None:
         """Mirror one pruned rank call's pruning ratios into metrics."""
         if self._metrics is None:

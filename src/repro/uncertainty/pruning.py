@@ -68,6 +68,7 @@ PAD_ABSOLUTE = 1e-12
 UNBOUNDED = float("inf")
 
 
+# agora: shard-safe
 def pad(bound: float) -> float:
     """Widen a real-arithmetic upper bound to absorb float rounding."""
     if bound == UNBOUNDED:
@@ -193,6 +194,7 @@ class BoundStats:
                 self.text_lift_max_ratio = max_ratio
 
     # ------------------------------------------------------------------
+    # agora: shard-safe
     def ceiling(self, state: Optional[QueryBoundState]) -> float:
         """Padded upper bound on any candidate's score for this query."""
         if state is None or self.unbounded:
@@ -253,6 +255,7 @@ class BoundStats:
         return min(1.0, dot_cap / state.lift_norm)
 
     # ------------------------------------------------------------------
+    # agora: shard-safe
     def as_dict(self) -> Dict[str, object]:
         """Comparable snapshot (used by the invalidation fuzz suite)."""
         return {
@@ -303,6 +306,7 @@ class BlockBounds:
             self._count += 1
 
     # ------------------------------------------------------------------
+    # agora: shard-safe
     def query_state(self, query: InformationItem) -> Optional[QueryBoundState]:
         """Query-side bound state; ``None`` if the query is unprunable."""
         engine = self.engine
@@ -332,6 +336,7 @@ class BlockBounds:
             return state
         return None  # compound / base queries fall back to full scoring
 
+    # agora: shard-safe
     def chunk_ranges(self, limit: int) -> List[Tuple[int, int, BoundStats]]:
         """``(start, stop, stats)`` triples covering positions [0, limit).
 

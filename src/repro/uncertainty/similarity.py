@@ -19,6 +19,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 import numpy as np
 
 
+# agora: shard-safe
 def dot_kernel(a: np.ndarray, b: np.ndarray) -> float:
     """Dot product of two 1-D vectors, bitwise-stable under batching.
 
@@ -28,6 +29,7 @@ def dot_kernel(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.einsum("j,j->", a, b))
 
 
+# agora: shard-safe
 def batch_dot_kernel(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
     """Row-wise dot products of ``matrix`` against ``vector``.
 
@@ -38,6 +40,7 @@ def batch_dot_kernel(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
     return np.einsum("ij,j->i", matrix, vector)
 
 
+# agora: shard-safe
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     """Cosine of two vectors mapped to [0, 1] (0.5 = orthogonal)."""
     a = np.asarray(a, dtype=float)
@@ -51,6 +54,7 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
     return float((1.0 + dot_kernel(a, b) / (na * nb)) / 2.0)
 
 
+# agora: shard-safe
 def nonnegative_cosine(a: np.ndarray, b: np.ndarray) -> float:
     """Cosine for non-negative vectors (already in [0, 1])."""
     a = np.asarray(a, dtype=float)
@@ -64,6 +68,7 @@ def nonnegative_cosine(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.clip(dot_kernel(a, b) / (na * nb), 0.0, 1.0))
 
 
+# agora: shard-safe
 def batch_nonnegative_cosine(
     matrix: np.ndarray,
     row_norms: np.ndarray,
@@ -88,6 +93,7 @@ def batch_nonnegative_cosine(
     return np.where(row_norms == 0, 0.0, cosines)
 
 
+# agora: shard-safe
 def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
     """Jaccard index of two term sets."""
     set_a, set_b = set(a), set(b)
@@ -97,6 +103,7 @@ def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
     return len(set_a & set_b) / len(union)
 
 
+# agora: shard-safe
 def weighted_jaccard(a: Mapping[str, float], b: Mapping[str, float]) -> float:
     """Weighted Jaccard (Ruzicka) similarity of two weighted bags."""
     keys = set(a) | set(b)
@@ -109,6 +116,7 @@ def weighted_jaccard(a: Mapping[str, float], b: Mapping[str, float]) -> float:
     return minimum / maximum
 
 
+# agora: shard-safe
 def sublinear_tf(terms: Mapping[str, int]) -> Dict[str, float]:
     """Sublinear (1 + log) term-frequency weighting."""
     return {
@@ -118,6 +126,7 @@ def sublinear_tf(terms: Mapping[str, int]) -> Dict[str, float]:
     }
 
 
+# agora: shard-safe
 def bag_cosine(a: Mapping[str, float], b: Mapping[str, float]) -> float:
     """Cosine similarity of two sparse weighted bags, in [0, 1]."""
     if not a or not b:
@@ -131,11 +140,13 @@ def bag_cosine(a: Mapping[str, float], b: Mapping[str, float]) -> float:
     return float(np.clip(dot / (norm_a * norm_b), 0.0, 1.0))
 
 
+# agora: shard-safe
 def bag_norm(bag: Mapping[str, float]) -> float:
     """Euclidean norm of a sparse weighted bag (cacheable per item)."""
     return float(np.sqrt(sum(v * v for v in bag.values())))
 
 
+# agora: shard-safe
 def batch_bag_cosine(
     query_bag: Mapping[str, float],
     candidate_bags: Sequence[Mapping[str, float]],

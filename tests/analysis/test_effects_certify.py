@@ -1,0 +1,293 @@
+"""Certification end: AGR10x rules, trust semantics, manifest, CLI.
+
+The acceptance contract of the shard-safety gate: every declared
+``# agora: shard-safe`` root in ``src/repro`` verifies PURE or
+READS_SHARED with zero AGR10x findings, and the attestation manifest is
+byte-stable and matches the committed baseline.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis.effects import (
+    MUTATES_SHARED,
+    PURE,
+    READS_SHARED,
+    ProjectIndex,
+    analyse,
+    build_manifest,
+    build_report,
+    effects_cli,
+    render_manifest,
+)
+from repro.analysis.effects.project import SHARD_SAFE, WORKER_LOCAL
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src" / "repro"
+BASELINE = ROOT / "shard_safety.json"
+
+
+def build_index(*sources: str) -> ProjectIndex:
+    index = ProjectIndex()
+    for position, source in enumerate(sources):
+        index.add_source(
+            source, path=f"mem/m{position}.py", module=f"repro.mem.m{position}"
+        )
+    index.finalise()
+    return index
+
+
+def rule_ids(report):
+    return sorted(v.rule_id for v in report.violations)
+
+
+class TestRuleEmission:
+    def test_agr101_mutation_on_certified_path(self):
+        report = build_report(
+            analyse(
+                build_index(
+                    "STATE = {}\n"
+                    "\n"
+                    "# agora: shard-safe\n"
+                    "def tainted() -> None:\n"
+                    "    STATE['k'] = 1\n"
+                )
+            )
+        )
+        assert rule_ids(report) == ["AGR101"]
+        (violation,) = report.violations
+        assert "tainted" in violation.message
+        assert "witness" in violation.message
+
+    def test_agr102_unthreaded_rng_draw(self):
+        report = build_report(
+            analyse(
+                build_index(
+                    "import numpy as np\n"
+                    "GEN = np.random.default_rng(7)\n"
+                    "\n"
+                    "# agora: shard-safe\n"
+                    "def draw() -> float:\n"
+                    "    return GEN.normal()\n"
+                )
+            )
+        )
+        assert "AGR102" in rule_ids(report)
+
+    def test_agr103_unresolved_dynamic_call(self):
+        report = build_report(
+            analyse(
+                build_index(
+                    "# agora: shard-safe\n"
+                    "def jump(hook) -> None:\n"
+                    "    hook.fire()\n"
+                )
+            )
+        )
+        assert rule_ids(report) == ["AGR103"]
+
+    def test_agr104_stale_worker_local_declaration(self):
+        report = build_report(
+            analyse(
+                build_index(
+                    "# agora: worker-local nothing to attest\n"
+                    "def calm(n: int) -> int:\n"
+                    "    return n + 1\n"
+                )
+            )
+        )
+        assert rule_ids(report) == ["AGR104"]
+
+    def test_agr104_dangling_annotation(self):
+        report = build_report(
+            analyse(
+                build_index(
+                    "# agora: shard-safe\n"
+                    "\n"
+                    "X = 1\n"
+                )
+            )
+        )
+        assert rule_ids(report) == ["AGR104"]
+        assert "dangling" in report.violations[0].message
+
+    def test_docstring_mention_is_not_a_declaration(self):
+        index = build_index(
+            'def doc() -> None:\n'
+            '    """Mentions # agora: shard-safe in prose only."""\n'
+        )
+        assert index.declared(SHARD_SAFE) == []
+        assert index.dangling == []
+
+    def test_clean_root_produces_no_findings(self):
+        report = build_report(
+            analyse(
+                build_index(
+                    "# agora: shard-safe\n"
+                    "def lift(n: int) -> int:\n"
+                    "    return n + 1\n"
+                )
+            )
+        )
+        assert report.violations == []
+
+    def test_agr10x_suppression_applies(self):
+        report = build_report(
+            analyse(
+                build_index(
+                    "STATE = {}\n"
+                    "\n"
+                    "# agora: shard-safe\n"
+                    "def tainted() -> None:  # agora: ignore[AGR101] migration stopgap\n"
+                    "    STATE['k'] = 1\n"
+                )
+            )
+        )
+        assert report.violations == []
+        assert [v.rule_id for v in report.suppressed] == ["AGR101"]
+
+
+class TestTrustSemantics:
+    def test_worker_local_caps_self_writes_at_reads_shared(self):
+        source = (
+            "class Cache:\n"
+            "    # agora: worker-local per-worker dict, deterministic fill\n"
+            "    def put(self, key: str) -> None:\n"
+            "        self.store = key\n"
+            "\n"
+            "# agora: shard-safe\n"
+            "def warm(cache: Cache) -> None:\n"
+            "    cache.put('k')\n"
+        )
+        result = analyse(build_index(source))
+        assert result.verdicts["repro.mem.m0.Cache.put"] == READS_SHARED
+        # the synthetic instance read maps through the parameter receiver
+        # at the call site and drops: reading a caller-supplied object is
+        # pure from the caller's perspective
+        assert result.verdicts["repro.mem.m0.warm"] == PURE
+        assert result.trusted["repro.mem.m0.Cache.put"] is True
+        assert build_report(result).violations == []
+
+    def test_global_writes_are_never_trustable(self):
+        source = (
+            "STATE = {}\n"
+            "\n"
+            "# agora: worker-local wishful thinking\n"
+            "def leak() -> None:\n"
+            "    STATE['k'] = 1\n"
+        )
+        result = analyse(build_index(source))
+        assert result.verdicts["repro.mem.m0.leak"] == MUTATES_SHARED
+        # the declaration dropped nothing -> stale
+        assert result.stale_declarations == ["repro.mem.m0.leak"]
+
+    def test_raw_summary_still_visible_next_to_exported(self):
+        source = (
+            "class Cache:\n"
+            "    # agora: worker-local replicated per worker\n"
+            "    def put(self, key: str) -> None:\n"
+            "        self.store = key\n"
+        )
+        result = analyse(build_index(source))
+        raw = result.summaries["repro.mem.m0.Cache.put"]
+        exported = result.exported["repro.mem.m0.Cache.put"]
+        assert any(e.kind == "write_self" for e in raw)
+        assert all(e.kind != "write_self" for e in exported)
+
+
+class TestLibraryCertification:
+    """The repo-level acceptance gate, run against the real tree."""
+
+    def setup_method(self):
+        self.result = analyse(ProjectIndex.build([SRC]))
+
+    def test_declared_roots_certify_clean(self):
+        roots = self.result.index.declared(SHARD_SAFE)
+        assert len(roots) >= 20, "the hot read path must be annotated"
+        bad = {
+            func.qualname: self.result.verdicts[func.qualname]
+            for func in roots
+            if self.result.verdicts[func.qualname] not in (PURE, READS_SHARED)
+        }
+        assert bad == {}
+
+    def test_zero_agr10x_findings(self):
+        report = build_report(self.result)
+        assert report.violations == [], [
+            v.render() for v in report.violations
+        ]
+
+    def test_worker_local_declarations_all_attest_something(self):
+        assert self.result.stale_declarations == []
+        declared = self.result.index.declared(WORKER_LOCAL)
+        assert len(declared) >= 5
+        for func in declared:
+            assert self.result.trusted[func.qualname] is True
+
+    def test_manifest_is_byte_stable_and_matches_baseline(self):
+        first = render_manifest(build_manifest(self.result))
+        second = render_manifest(
+            build_manifest(analyse(ProjectIndex.build([SRC])))
+        )
+        assert first == second
+        assert first == BASELINE.read_text(encoding="utf-8")
+
+    def test_manifest_schema(self):
+        payload = json.loads(render_manifest(build_manifest(self.result)))
+        assert payload["schema"] == "repro.shard-safety/1"
+        assert set(payload["counts"]) <= {
+            "PURE",
+            "READS_SHARED",
+            "MUTATES_SHARED",
+            "UNKNOWN",
+        }
+        assert payload["roots"], "declared roots must be listed"
+        for record in payload["roots"].values():
+            assert record["certified"] is True
+            assert record["verdict"] in (PURE, READS_SHARED)
+
+
+class TestEffectsCli:
+    def test_src_repro_exits_zero(self, capsys):
+        assert effects_cli([str(SRC)]) == 0
+        out = capsys.readouterr().out
+        assert "declared shard-safe roots:" in out
+        assert "0 violations" in out
+
+    def test_check_against_committed_baseline(self, capsys):
+        code = effects_cli([str(SRC), "--check", str(BASELINE)])
+        capsys.readouterr()
+        assert code == 0
+
+    def test_check_detects_drift(self, tmp_path, capsys):
+        stale = tmp_path / "stale.json"
+        stale.write_text("{}\n", encoding="utf-8")
+        assert effects_cli([str(SRC), "--check", str(stale)]) == 1
+        assert "drifted" in capsys.readouterr().out
+
+    def test_manifest_written(self, tmp_path, capsys):
+        target = tmp_path / "manifest.json"
+        assert effects_cli([str(SRC), "--manifest", str(target)]) == 0
+        capsys.readouterr()
+        payload = json.loads(target.read_text(encoding="utf-8"))
+        assert payload["schema"] == "repro.shard-safety/1"
+
+    def test_violations_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "# module: repro.mem.bad\n"
+            "STATE = {}\n"
+            "\n"
+            "# agora: shard-safe\n"
+            "def tainted() -> None:\n"
+            "    STATE['k'] = 1\n",
+            encoding="utf-8",
+        )
+        assert effects_cli([str(bad)]) == 1
+        assert "AGR101" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert effects_cli(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("AGR101", "AGR102", "AGR103", "AGR104"):
+            assert rule_id in out

@@ -1,0 +1,222 @@
+"""Adversarial inputs for the interprocedural effect fixpoint.
+
+Each case builds a small in-memory project via ``ProjectIndex.add_source``
+and checks the converged verdicts — the goal is to pin the lattice
+behaviour on the shapes that historically break effect analyses: cycles,
+dynamic dispatch, decorator poisoning, and side effects hiding behind
+attribute reads.
+"""
+
+from repro.analysis.effects import (
+    MUTATES_SHARED,
+    PURE,
+    READS_SHARED,
+    UNKNOWN,
+    ProjectIndex,
+    analyse,
+)
+
+
+def build_index(*sources: str) -> ProjectIndex:
+    index = ProjectIndex()
+    for position, source in enumerate(sources):
+        index.add_source(
+            source, path=f"mem/m{position}.py", module=f"repro.mem.m{position}"
+        )
+    index.finalise()
+    return index
+
+
+def verdicts_of(*sources: str):
+    return analyse(build_index(*sources)).verdicts
+
+
+class TestRecursionAndCycles:
+    def test_pure_mutual_recursion_converges_to_pure(self):
+        verdicts = verdicts_of(
+            "def even(n: int) -> bool:\n"
+            "    return True if n == 0 else odd(n - 1)\n"
+            "\n"
+            "def odd(n: int) -> bool:\n"
+            "    return False if n == 0 else even(n - 1)\n"
+        )
+        assert verdicts["repro.mem.m0.even"] == PURE
+        assert verdicts["repro.mem.m0.odd"] == PURE
+
+    def test_cycle_converges_to_the_worst_member(self):
+        # a three-node call cycle where one node writes a module global:
+        # the mutation must reach every member through the cycle
+        verdicts = verdicts_of(
+            "CACHE = {}\n"
+            "\n"
+            "def a(n: int) -> int:\n"
+            "    return b(n)\n"
+            "\n"
+            "def b(n: int) -> int:\n"
+            "    return c(n)\n"
+            "\n"
+            "def c(n: int) -> int:\n"
+            "    CACHE[n] = n\n"
+            "    return a(n - 1) if n else 0\n"
+        )
+        for name in ("a", "b", "c"):
+            assert verdicts[f"repro.mem.m0.{name}"] == MUTATES_SHARED
+
+    def test_self_recursion_with_read_stays_reads_shared(self):
+        verdicts = verdicts_of(
+            "LIMITS = {}\n"
+            "\n"
+            "def probe(n: int) -> int:\n"
+            "    if n in LIMITS:\n"
+            "        return probe(n - 1)\n"
+            "    return n\n"
+        )
+        assert verdicts["repro.mem.m0.probe"] == READS_SHARED
+
+
+class TestDynamicDispatch:
+    OVERRIDES = (
+        "class Base:\n"
+        "    def work(self) -> int:\n"
+        "        return 1\n"
+        "\n"
+        "class Noisy(Base):\n"
+        "    def work(self) -> int:\n"
+        "        self.count = 1\n"
+        "        return 2\n"
+        "\n"
+        "def drive(item: Base) -> int:\n"
+        "    return item.work()\n"
+    )
+
+    def test_call_through_base_joins_every_override(self):
+        # the receiver is typed Base, so the join covers Base.work (pure)
+        # and Noisy.work (self-write mapped through a param receiver)
+        verdicts = verdicts_of(self.OVERRIDES)
+        assert verdicts["repro.mem.m0.Base.work"] == PURE
+        assert verdicts["repro.mem.m0.Noisy.work"] == MUTATES_SHARED
+        assert verdicts["repro.mem.m0.drive"] == MUTATES_SHARED
+
+    def test_untyped_receiver_with_unknown_method_poisons(self):
+        verdicts = verdicts_of(
+            "def drive(item) -> int:\n"
+            "    return item.frobnicate()\n"
+        )
+        assert verdicts["repro.mem.m0.drive"] == UNKNOWN
+
+
+class TestDecorators:
+    def test_unknown_decorator_poisons_the_function(self):
+        # a decorator the index cannot resolve may replace the function
+        # wholesale; the analysis must refuse to certify through it
+        verdicts = verdicts_of(
+            "from somewhere import magic\n"
+            "\n"
+            "@magic\n"
+            "def shiny() -> int:\n"
+            "    return 1\n"
+        )
+        assert verdicts["repro.mem.m0.shiny"] == UNKNOWN
+
+    def test_lru_cache_is_a_shared_memo_mutation(self):
+        verdicts = verdicts_of(
+            "import functools\n"
+            "\n"
+            "@functools.lru_cache(maxsize=64)\n"
+            "def slow(n: int) -> int:\n"
+            "    return n * n\n"
+        )
+        assert verdicts["repro.mem.m0.slow"] == MUTATES_SHARED
+
+    def test_benign_decorators_do_not_poison(self):
+        verdicts = verdicts_of(
+            "class Box:\n"
+            "    @staticmethod\n"
+            "    def lift(n: int) -> int:\n"
+            "        return n + 1\n"
+        )
+        assert verdicts["repro.mem.m0.Box.lift"] == PURE
+
+
+class TestPropertyAbsorption:
+    SOURCE = (
+        "class Lazy:\n"
+        "    @property\n"
+        "    def rows(self) -> int:\n"
+        "        self._rows = 3\n"
+        "        return self._rows\n"
+        "\n"
+        "def peek(lazy: Lazy) -> int:\n"
+        "    return lazy.rows\n"
+        "\n"
+        "def local_peek() -> int:\n"
+        "    lazy = Lazy()\n"
+        "    return lazy.rows\n"
+    )
+
+    def test_property_getter_side_effect_reaches_the_reader(self):
+        # reading ``lazy.rows`` runs the getter, which writes instance
+        # state; through a parameter receiver that is a WRITE_ARG
+        verdicts = verdicts_of(self.SOURCE)
+        assert verdicts["repro.mem.m0.Lazy.rows"] == MUTATES_SHARED
+        assert verdicts["repro.mem.m0.peek"] == MUTATES_SHARED
+
+    def test_fresh_receiver_confines_the_getter_write(self):
+        # the same getter through a locally constructed object mutates
+        # nothing observable — the write maps through FRESH and drops
+        verdicts = verdicts_of(self.SOURCE)
+        assert verdicts["repro.mem.m0.local_peek"] == PURE
+
+
+class TestCallResolutionPolicy:
+    def test_builtin_verbs_beat_name_join(self):
+        # ``.append`` is a builtin mutator even though a project class
+        # also defines a method of that name; the table must win over the
+        # speculative name join
+        verdicts = verdicts_of(
+            "class Log:\n"
+            "    def append(self, row: str) -> None:\n"
+            "        self.rows = row\n"
+            "\n"
+            "def collect(n: int) -> list:\n"
+            "    out = []\n"
+            "    for i in range(n):\n"
+            "        out.append(i)\n"
+            "    return out\n"
+        )
+        assert verdicts["repro.mem.m0.collect"] == PURE
+
+    def test_typed_receiver_resolves_precisely(self):
+        # with the receiver annotated, only Quiet.emit is joined — the
+        # noisy same-name method on an unrelated class is ignored
+        verdicts = verdicts_of(
+            "GLOBAL = {}\n"
+            "\n"
+            "class Quiet:\n"
+            "    def emit(self) -> int:\n"
+            "        return 0\n"
+            "\n"
+            "class Loud:\n"
+            "    def emit(self) -> int:\n"
+            "        GLOBAL['x'] = 1\n"
+            "        return 1\n"
+            "\n"
+            "def run(q: Quiet) -> int:\n"
+            "    return q.emit()\n"
+        )
+        assert verdicts["repro.mem.m0.run"] == PURE
+
+    def test_cross_module_calls_resolve(self):
+        verdicts = verdicts_of(
+            "# module: repro.mem.alpha\n"
+            "STATE = {}\n"
+            "\n"
+            "def poke() -> None:\n"
+            "    STATE['k'] = 1\n",
+            "# module: repro.mem.beta\n"
+            "from repro.mem.alpha import poke\n"
+            "\n"
+            "def run() -> None:\n"
+            "    poke()\n",
+        )
+        assert verdicts["repro.mem.beta.run"] == MUTATES_SHARED

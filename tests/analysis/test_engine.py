@@ -31,7 +31,8 @@ class TestSuppressions:
 
     def test_used_suppression_moves_violation_to_suppressed(self):
         report = AnalysisEngine().check_file(FIXTURES / "suppressed.py")
-        assert report.violations == []
+        # the only remaining finding is AGR000 for the unused AGR002 line
+        assert [v.rule_id for v in report.violations] == ["AGR000"]
         assert [v.rule_id for v in report.suppressed] == ["AGR001"]
 
     def test_unused_suppression_is_tracked(self):
@@ -47,7 +48,47 @@ class TestSuppressions:
             "t = time.time()  # agora: ignore[AGR002] wrong rule id\n"
         )
         report = AnalysisEngine().check_source(src, "f.py")
-        assert [v.rule_id for v in report.violations] == ["AGR001"]
+        # the AGR001 finding survives, and the mismatched suppression is
+        # itself flagged as unused
+        assert sorted(v.rule_id for v in report.violations) == ["AGR000", "AGR001"]
+
+
+class TestUnusedSuppressionRule:
+    """AGR000: suppressions that silence nothing are themselves findings."""
+
+    def test_unused_suppression_becomes_agr000(self):
+        report = AnalysisEngine().check_file(FIXTURES / "suppressed.py")
+        (violation,) = report.violations
+        assert violation.rule_id == "AGR000"
+        assert violation.line == 11
+        assert "AGR002" in violation.message
+
+    def test_agr000_can_be_self_suppressed(self):
+        src = (
+            "# module: repro.core.x\n"
+            "x = 1  # agora: ignore[AGR002, AGR000] acknowledged speculative\n"
+        )
+        report = AnalysisEngine().check_source(src, "f.py")
+        assert report.violations == []
+        (marked,) = report.suppressions
+        assert marked.used is True
+
+    def test_agr000_respects_executed_rule_set(self):
+        # An AGR002 suppression cannot be called unused by a run that never
+        # executed AGR002.
+        from repro.analysis.rules import RULE_INDEX
+
+        src = (
+            "# module: repro.core.x\n"
+            "x = 1  # agora: ignore[AGR002] maybe next run\n"
+        )
+        engine = AnalysisEngine(rules=[RULE_INDEX["AGR001"]])
+        assert engine.check_source(src, "f.py").violations == []
+
+    def test_flagging_can_be_disabled(self):
+        engine = AnalysisEngine(flag_unused_suppressions=False)
+        report = engine.check_file(FIXTURES / "suppressed.py")
+        assert report.violations == []
 
 
 class TestModuleNaming:

@@ -1,0 +1,81 @@
+"""The layer DAG has exactly one source of truth.
+
+``LAYER_TABLE`` in :mod:`repro.analysis.layering` is parsed into the
+graph AGR008 enforces, and DESIGN.md embeds the same table verbatim in
+a fenced ``layers`` block — these tests keep the two byte-identical and
+the graph total over the actual package tree.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.layering import (
+    LAYER_DEPS,
+    LAYER_TABLE,
+    parse_layer_table,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src" / "repro"
+
+
+def _design_layer_block() -> str:
+    text = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+    match = re.search(r"```layers\n(.*?)```", text, re.DOTALL)
+    assert match is not None, "DESIGN.md must carry a fenced ```layers block"
+    return match.group(1)
+
+
+class TestDesignParity:
+    def test_design_block_is_byte_identical_to_layer_table(self):
+        assert _design_layer_block() == LAYER_TABLE
+
+    def test_table_parses_to_the_enforced_graph(self):
+        assert parse_layer_table(LAYER_TABLE) == LAYER_DEPS
+
+
+class TestGraphTotality:
+    def test_every_src_package_appears_in_the_dag(self):
+        packages = sorted(
+            child.name
+            for child in SRC.iterdir()
+            if child.is_dir() and (child / "__init__.py").exists()
+        )
+        assert packages, "src/repro must contain packages"
+        missing = [pkg for pkg in packages if pkg not in LAYER_DEPS]
+        assert missing == [], (
+            f"packages absent from LAYER_TABLE: {missing}; every new "
+            "package must declare its allowed imports"
+        )
+
+    def test_every_declared_package_exists_on_disk(self):
+        ghosts = [
+            pkg
+            for pkg in LAYER_DEPS
+            if not (SRC / pkg / "__init__.py").exists()
+        ]
+        assert ghosts == [], f"LAYER_TABLE declares missing packages: {ghosts}"
+
+
+class TestTableParser:
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="undeclared"):
+            parse_layer_table("a -> b\n")
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            parse_layer_table("a -> b\nb -> a\n")
+
+    def test_duplicate_entry_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_layer_table("a ->\na ->\n")
+
+    def test_continuation_lines_extend_the_previous_entry(self):
+        parsed = parse_layer_table("a ->\nb -> a\n       a\n")
+        assert parsed["b"] == frozenset({"a"})
+
+    def test_orphan_continuation_rejected(self):
+        with pytest.raises(ValueError, match="continuation"):
+            parse_layer_table("   a b c\n")

@@ -1,27 +1,31 @@
 """The library must satisfy its own determinism contract.
 
-This is the acceptance gate the CI job enforces: ``src/repro`` lints
-clean under every AGR rule, and the sim kernel does it without a single
-inline suppression — the kernel IS the contract, it doesn't get to opt
-out of it.
+This is the acceptance gate the CI job enforces: ``src/repro``,
+``benchmarks`` and ``examples`` lint clean under every AGR rule
+(including AGR000 unused-suppression findings), and the sim kernel does
+it without a single inline suppression — the kernel IS the contract, it
+doesn't get to opt out of it.
 """
 
 from pathlib import Path
 
 from repro.analysis import AnalysisEngine
 
-SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+ROOT = Path(__file__).resolve().parents[2]
+SRC = ROOT / "src" / "repro"
+SWEEP = [SRC, ROOT / "benchmarks", ROOT / "examples"]
 
 
-def test_src_tree_exists():
-    assert SRC.is_dir()
+def test_swept_trees_exist():
+    for tree in SWEEP:
+        assert tree.is_dir(), tree
 
 
-def test_src_repro_has_zero_violations():
-    report = AnalysisEngine().check_paths([SRC])
+def test_lint_sweep_has_zero_violations():
+    report = AnalysisEngine().check_paths(SWEEP)
     assert report.parse_errors == []
     rendered = "\n".join(v.render() for v in report.violations)
-    assert report.violations == [], f"src/repro must lint clean:\n{rendered}"
+    assert report.violations == [], f"the lint sweep must come back clean:\n{rendered}"
 
 
 def test_sim_kernel_has_zero_suppressions():
