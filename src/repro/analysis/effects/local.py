@@ -5,8 +5,12 @@ their effects are attributed to the enclosing function, which
 over-approximates but never under-approximates), tracking a
 flow-insensitive provenance map for local names so that writes and
 method calls can be classified as fresh / self-rooted / parameter /
-global.  Everything it cannot bound becomes an
-:data:`~.model.UNRESOLVED_CALL` poison atom rather than a silent pass.
+global.  Call results carry the callee's *return provenance*
+(:func:`callee_return_prov`): a project helper handing back an alias of
+module-level or instance state taints its result, so mutations through
+the alias are not dropped as fresh.  Everything it cannot bound becomes
+an :data:`~.model.UNRESOLVED_CALL` poison atom (or
+:data:`~.model.UNKNOWN_PROV` provenance) rather than a silent pass.
 """
 
 from __future__ import annotations
@@ -20,7 +24,10 @@ from repro.analysis.effects.model import (
     IO,
     MEMO,
     PROV_FRESH,
+    PROV_GLOBAL,
     PROV_PARAM,
+    PROV_SELF,
+    PROV_UNKNOWN,
     RNG_DRAW,
     SELF,
     UNKNOWN_PROV,
@@ -86,6 +93,8 @@ class FunctionScanner:
         self._nonlocal_decls: Set[str] = set()
         self._bindings: Dict[str, List[ast.expr]] = {}
         self._inline_callables: Set[str] = set()
+        self._inline_defs: Dict[str, List[ast.AST]] = {}
+        self._inline_prov_stack: Set[int] = set()
         self._prov_cache: Dict[str, Prov] = {}
         self._prov_stack: Set[str] = set()
         self._type_cache: Dict[str, Tuple[str, ...]] = {}
@@ -143,6 +152,7 @@ class FunctionScanner:
             elif isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 if sub is not self.func.node:
                     self._inline_callables.add(sub.name)
+                    self._inline_defs.setdefault(sub.name, []).append(sub)
             elif isinstance(sub, ast.Global):
                 self._global_decls.update(sub.names)
             elif isinstance(sub, ast.Nonlocal):
@@ -229,13 +239,116 @@ class FunctionScanner:
             if func.attr in _FRESH_RESULT_METHODS:
                 return FRESH
             dotted = self._dotted_of(func)
-            if dotted is not None and self._is_external_dotted(dotted):
-                return FRESH
+            if dotted is not None:
+                if self._is_external_dotted(dotted):
+                    return FRESH
+                project = self._project_lookup(dotted)
+                if project is not None:
+                    kind, qualname = project
+                    if kind == "class":
+                        return FRESH  # constructor → fresh instance
+                    return self._returned_prov(call, qualname)
             # method-call results conservatively alias their receiver
             # (covers ``self._buckets.setdefault(...)`` handing back a
             # self-reachable list)
             return self.prov_of(func.value)
+        if isinstance(func, ast.Name):
+            return self._prov_of_name_call(call, func.id)
         return FRESH
+
+    def _prov_of_name_call(self, call: ast.Call, name: str) -> Prov:
+        """Provenance of a bare-name call's result.
+
+        Project functions may hand back aliases of shared state, so their
+        return provenance is computed from the callee body rather than
+        assumed fresh; local lambdas and nested defs are resolved through
+        their own return expressions.  Callables the analysis cannot
+        bound already poison the caller at the call site
+        (:meth:`_scan_name_call`), so their result provenance is moot.
+        """
+        if name in self._inline_callables:
+            return self._inline_return_prov(self._inline_defs.get(name, []))
+        if name in self._bindings:
+            values = self._bindings[name]
+            if values and all(isinstance(v, ast.Lambda) for v in values):
+                return self._inline_return_prov(values)
+            return FRESH  # call itself is UNRESOLVED_CALL poison
+        if name in self.func.params:
+            return FRESH  # call itself is CALLS_PARAM poison
+        if name in self.module.functions:
+            return self._returned_prov(call, self.module.functions[name])
+        if name in self.module.classes:
+            return FRESH  # constructor → fresh instance
+        dotted = self.ctx._aliases.get(name, name)
+        if dotted in self.index.functions:
+            return self._returned_prov(call, dotted)
+        # builtins / external callables return fresh (or immutable) values
+        return FRESH
+
+    def _inline_return_prov(self, nodes: Sequence[ast.AST]) -> Prov:
+        """Join of the return-expression provenances of local callables."""
+        prov = FRESH
+        for node in nodes:
+            if id(node) in self._inline_prov_stack:
+                return UNKNOWN_PROV
+            self._inline_prov_stack.add(id(node))
+            try:
+                if isinstance(node, ast.Lambda):
+                    prov = join_prov(prov, self.prov_of(node.body))
+                    continue
+                for sub in ast.walk(node):
+                    value: Optional[ast.expr] = None
+                    if isinstance(sub, (ast.Return, ast.Yield, ast.YieldFrom)):
+                        value = sub.value
+                    if value is not None:
+                        prov = join_prov(prov, self.prov_of(value))
+                    if prov.kind == PROV_UNKNOWN:
+                        return prov
+            finally:
+                self._inline_prov_stack.discard(id(node))
+        return prov
+
+    def _returned_prov(self, call: ast.Call, qualname: str) -> Prov:
+        """Caller-side provenance of a resolved project call's result."""
+        ret = callee_return_prov(self.index, qualname)
+        if ret.kind == PROV_FRESH:
+            return FRESH
+        if ret.kind == PROV_GLOBAL:
+            return ret
+        callee = self.index.functions.get(qualname)
+        if ret.kind == PROV_PARAM and callee is not None:
+            actual = self._actual_for_param(call, callee, ret.name)
+            if actual is not None:
+                return self.prov_of(actual)
+        if ret.kind == PROV_SELF and callee is not None:
+            # explicit ``Class.method(obj, ...)``: the result aliases the
+            # first positional argument (the receiver)
+            if callee.receiver and call.args and not isinstance(
+                call.args[0], ast.Starred
+            ):
+                return self.prov_of(call.args[0])
+        return UNKNOWN_PROV
+
+    def _actual_for_param(
+        self, call: ast.Call, callee: FunctionInfo, param: str
+    ) -> Optional[ast.expr]:
+        """The argument expression bound to ``param``, when unambiguous."""
+        for keyword in call.keywords:
+            if keyword.arg == param:
+                return keyword.value
+        if callee.receiver:
+            # explicit receiver calls shift positions; refuse to guess
+            return None
+        if param not in callee.params:
+            return None
+        position = callee.params.index(param)
+        if position >= len(call.args):
+            return None  # default used — may itself alias shared state
+        if any(
+            isinstance(arg, ast.Starred) for arg in call.args[: position + 1]
+        ):
+            return None
+        return call.args[position]
 
     # -- type inference --------------------------------------------------
     def _classes_of(self, expr: ast.expr) -> List[ClassInfo]:
@@ -798,6 +911,16 @@ class FunctionScanner:
             return
         if dotted in tables.FRESH_NUMPY_RANDOM:
             return
+        if dotted in tables.GLOBAL_STATE_CALLS:
+            self._add(
+                Effect(
+                    "write_global",
+                    f"mutates interpreter-global settings via {dotted}()",
+                    self.func.qualname,
+                    detail=dotted,
+                )
+            )
+            return
         if tables.matches_prefix(dotted, tables.RNG_PREFIXES):
             self._add(
                 Effect(
@@ -818,6 +941,13 @@ class FunctionScanner:
                 )
             )
             return
+        if dotted in tables.PURE_CALLS:
+            return
+        # pure prefixes come before the I/O prefixes: ``os.path.`` /
+        # ``posixpath.`` are path algebra, not I/O, and must win over
+        # the broader ``os.`` entry
+        if tables.matches_prefix(dotted, tables.PURE_PREFIXES):
+            return
         if tables.matches_prefix(dotted, tables.IO_PREFIXES):
             self._add(
                 Effect(
@@ -827,10 +957,6 @@ class FunctionScanner:
                     detail=dotted,
                 )
             )
-            return
-        if dotted in tables.PURE_CALLS:
-            return
-        if tables.matches_prefix(dotted, tables.PURE_PREFIXES):
             return
         if tables.matches_prefix(dotted, tables.PURE_NUMPY_PREFIXES):
             return
@@ -951,6 +1077,47 @@ class FunctionScanner:
                             return Actual(prov=SELF, func_ref=bound[0])
             return Actual(prov=self.prov_of(arg))
         return Actual(prov=self.prov_of(arg))
+
+
+def callee_return_prov(index: ProjectIndex, qualname: str) -> Prov:
+    """Provenance of the value ``qualname`` returns, callee-relative.
+
+    Join of the provenances of every ``return``/``yield`` expression in
+    the callee body (nested defs included — an over-approximation that
+    never under-approximates).  ``PROV_PARAM``/``PROV_SELF`` results are
+    mapped through the actual arguments at each call site; a cycle in
+    the return-aliasing chain refuses to bound and yields
+    :data:`~.model.UNKNOWN_PROV`.  Memoised per index because the result
+    is intrinsic to the callee.
+    """
+    cached = index.return_prov_cache.get(qualname)
+    if cached is not None:
+        return cached
+    if qualname in index.return_prov_stack:
+        return UNKNOWN_PROV
+    func = index.functions.get(qualname)
+    if func is None:
+        return UNKNOWN_PROV
+    module = index.modules.get(func.module)
+    if module is None:
+        return UNKNOWN_PROV
+    index.return_prov_stack.add(qualname)
+    try:
+        scanner = FunctionScanner(func, index, module)
+        scanner._collect_bindings(func.node)
+        prov = FRESH
+        for sub in ast.walk(func.node):
+            value: Optional[ast.expr] = None
+            if isinstance(sub, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = sub.value
+            if value is not None:
+                prov = join_prov(prov, scanner.prov_of(value))
+            if prov.kind == PROV_UNKNOWN:
+                break
+    finally:
+        index.return_prov_stack.discard(qualname)
+    index.return_prov_cache[qualname] = prov
+    return prov
 
 
 def scan_function(

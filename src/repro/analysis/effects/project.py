@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
+from repro.analysis.effects.model import Prov
 from repro.analysis.engine import module_name_for
 from repro.analysis.rules.base import RuleContext
 
@@ -285,6 +286,11 @@ class ProjectIndex:
         self.dangling: List[Annotation] = []
         #: (path, message) parse failures
         self.parse_errors: List[Tuple[str, str]] = []
+        #: memoised return-value provenance per function qualname
+        #: (filled lazily by :func:`..effects.local.callee_return_prov`)
+        self.return_prov_cache: Dict[str, Prov] = {}
+        #: cycle guard for the return-provenance computation
+        self.return_prov_stack: Set[str] = set()
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -467,7 +473,6 @@ class ProjectIndex:
 
         is_property = False
         is_static = False
-        is_classmethod = False
         has_memo = False
         setter_for = ""
         unknown: List[str] = []
@@ -477,8 +482,6 @@ class ProjectIndex:
                 is_property = True
             elif name == "staticmethod":
                 is_static = True
-            elif name == "classmethod":
-                is_classmethod = True
             elif name in MEMO_DECORATORS or name.split(".")[-1] == "lru_cache":
                 has_memo = True
             elif name == "setter" or name.endswith(".setter"):
@@ -522,7 +525,10 @@ class ProjectIndex:
             node=node,
             class_name=class_name,
             params=tuple(arg_names),
-            receiver=receiver if not is_classmethod else receiver,
+            # classmethods keep ``cls`` as their receiver on purpose:
+            # cls-reachable state is class-level shared state, so
+            # SELF-mapped reads/writes through it still apply
+            receiver=receiver,
             has_varargs=has_varargs,
             is_property=is_property,
             setter_for=setter_for,

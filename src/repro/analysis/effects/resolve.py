@@ -76,7 +76,14 @@ PURE_PREFIXES = (
     "unicodedata.",
 )
 
-#: numpy namespaces that are effect-free value constructors/kernels
+#: numpy namespaces that are effect-free value constructors/kernels.
+#: This blanket is only sound because every impure numpy entry point is
+#: carved out *before* it in :meth:`FunctionScanner._resolve_dotted_call`
+#: resolution order: ``numpy.random.*`` defaults to RNG_DRAW (only
+#: :data:`FRESH_NUMPY_RANDOM` constructors escape), numpy file I/O lives
+#: in :data:`IO_PREFIXES`, argument-mutating helpers in
+#: :data:`ARG0_MUTATORS`, and interpreter-global knobs in
+#: :data:`GLOBAL_STATE_CALLS`.
 PURE_NUMPY_PREFIXES = (
     "numpy.",
 )
@@ -109,6 +116,27 @@ ARG0_MUTATORS = frozenset(
         "setattr",
         "delattr",
         "next",
+        # numpy helpers that write into their first (array) argument
+        "numpy.fill_diagonal",
+        "numpy.copyto",
+        "numpy.put",
+        "numpy.place",
+        "numpy.putmask",
+        "numpy.put_along_axis",
+    }
+)
+
+#: dotted names whose call mutates interpreter-/library-global settings
+GLOBAL_STATE_CALLS = frozenset(
+    {
+        "numpy.seterr",
+        "numpy.seterrcall",
+        "numpy.setbufsize",
+        "numpy.set_printoptions",
+        "numpy.set_string_function",
+        "warnings.filterwarnings",
+        "warnings.simplefilter",
+        "warnings.resetwarnings",
     }
 )
 
@@ -131,23 +159,28 @@ IO_PREFIXES = (
     "sqlite3.",
     "urllib.",
     "http.",
+    # numpy file I/O (checked before the blanket numpy pure prefix)
+    "numpy.save",
+    "numpy.savez",
+    "numpy.savez_compressed",
+    "numpy.savetxt",
+    "numpy.load",
+    "numpy.loadtxt",
+    "numpy.genfromtxt",
+    "numpy.fromregex",
+    "numpy.fromfile",
+    "numpy.memmap",
+    "numpy.lib.format.",
+    "numpy.DataSource",
 )
 
-#: module-level RNG draws (unseedable shared global state)
+#: module-level RNG draws (unseedable shared global state).  The whole
+#: ``numpy.random`` namespace defaults to RNG_DRAW: anything not in
+#: :data:`FRESH_NUMPY_RANDOM` either draws from or mutates the shared
+#: legacy global generator.
 RNG_PREFIXES = (
     "random.",
-    "numpy.random.seed",
-    "numpy.random.random",
-    "numpy.random.rand",
-    "numpy.random.randn",
-    "numpy.random.randint",
-    "numpy.random.choice",
-    "numpy.random.shuffle",
-    "numpy.random.permutation",
-    "numpy.random.normal",
-    "numpy.random.uniform",
-    "numpy.random.get_state",
-    "numpy.random.set_state",
+    "numpy.random.",
     "secrets.",
 )
 

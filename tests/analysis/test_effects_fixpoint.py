@@ -220,3 +220,209 @@ class TestCallResolutionPolicy:
             "    poke()\n",
         )
         assert verdicts["repro.mem.beta.run"] == MUTATES_SHARED
+
+
+class TestNumpyTables:
+    """The blanket numpy pure prefix must lose to its impure carve-outs."""
+
+    def test_legacy_global_rng_draws_are_never_pure(self):
+        # np.random names outside the seeded-constructor allow-list all
+        # touch the shared legacy generator — including draws the old
+        # enumerated table missed (standard_normal, gamma, poisson)
+        verdicts = verdicts_of(
+            "import numpy as np\n"
+            "\n"
+            "def draw() -> object:\n"
+            "    return np.random.standard_normal(3)\n"
+            "\n"
+            "def draw_gamma() -> object:\n"
+            "    return np.random.gamma(2.0, size=4)\n"
+        )
+        assert verdicts["repro.mem.m0.draw"] == MUTATES_SHARED
+        assert verdicts["repro.mem.m0.draw_gamma"] == MUTATES_SHARED
+
+    def test_seeded_generator_constructors_stay_fresh(self):
+        verdicts = verdicts_of(
+            "import numpy as np\n"
+            "\n"
+            "def make() -> float:\n"
+            "    rng = np.random.default_rng(7)\n"
+            "    return float(rng.normal())\n"
+        )
+        assert verdicts["repro.mem.m0.make"] == PURE
+
+    def test_numpy_file_io_is_io(self):
+        verdicts = verdicts_of(
+            "import numpy as np\n"
+            "\n"
+            "def dump(arr) -> None:\n"
+            "    np.save('/tmp/a.npy', arr)\n"
+            "\n"
+            "def slurp() -> object:\n"
+            "    return np.load('/tmp/a.npy')\n"
+        )
+        assert verdicts["repro.mem.m0.dump"] == MUTATES_SHARED
+        assert verdicts["repro.mem.m0.slurp"] == MUTATES_SHARED
+
+    def test_numpy_arg_mutators_map_through_provenance(self):
+        # fill_diagonal on a parameter is an argument write; on a fresh
+        # local array the write is confined and drops
+        verdicts = verdicts_of(
+            "import numpy as np\n"
+            "\n"
+            "def zero_diag(mat) -> object:\n"
+            "    np.fill_diagonal(mat, 0.0)\n"
+            "    return mat\n"
+            "\n"
+            "def fresh_diag() -> object:\n"
+            "    mat = np.ones((3, 3))\n"
+            "    np.fill_diagonal(mat, 0.0)\n"
+            "    return mat\n"
+        )
+        assert verdicts["repro.mem.m0.zero_diag"] == MUTATES_SHARED
+        assert verdicts["repro.mem.m0.fresh_diag"] == PURE
+
+    def test_numpy_global_knobs_are_shared_mutations(self):
+        verdicts = verdicts_of(
+            "import numpy as np\n"
+            "\n"
+            "def quiet() -> None:\n"
+            "    np.seterr(all='ignore')\n"
+        )
+        assert verdicts["repro.mem.m0.quiet"] == MUTATES_SHARED
+
+    def test_numpy_kernels_stay_pure(self):
+        verdicts = verdicts_of(
+            "import numpy as np\n"
+            "\n"
+            "def dot(a, b) -> float:\n"
+            "    return float(np.einsum('i,i->', np.asarray(a), b))\n"
+        )
+        assert verdicts["repro.mem.m0.dot"] == PURE
+
+
+class TestReturnAliasProvenance:
+    """Mutating the result of a call that hands back shared state must
+    poison the caller — return values are not unconditionally fresh."""
+
+    SHARED = (
+        "_SHARED = {}\n"
+        "\n"
+        "def get_shared() -> dict:\n"
+        "    return _SHARED\n"
+    )
+
+    def test_mutation_through_returned_global_alias(self):
+        verdicts = verdicts_of(
+            self.SHARED + "\n"
+            "def taint() -> None:\n"
+            "    d = get_shared()\n"
+            "    d['k'] = 1\n"
+            "\n"
+            "def taint_method() -> None:\n"
+            "    get_shared().update({'x': 2})\n"
+        )
+        assert verdicts["repro.mem.m0.get_shared"] == READS_SHARED
+        assert verdicts["repro.mem.m0.taint"] == MUTATES_SHARED
+        assert verdicts["repro.mem.m0.taint_method"] == MUTATES_SHARED
+
+    def test_alias_survives_a_call_chain(self):
+        verdicts = verdicts_of(
+            self.SHARED + "\n"
+            "def relay() -> dict:\n"
+            "    return get_shared()\n"
+            "\n"
+            "def taint() -> None:\n"
+            "    relay().clear()\n"
+        )
+        assert verdicts["repro.mem.m0.relay"] == READS_SHARED
+        assert verdicts["repro.mem.m0.taint"] == MUTATES_SHARED
+
+    def test_local_lambda_alias_is_tracked(self):
+        verdicts = verdicts_of(
+            self.SHARED + "\n"
+            "def taint() -> None:\n"
+            "    grab = lambda: _SHARED\n"
+            "    grab()['z'] = 3\n"
+        )
+        assert verdicts["repro.mem.m0.taint"] == MUTATES_SHARED
+
+    def test_param_returning_helper_keeps_fresh_results_fresh(self):
+        # identity-style helpers map their return through the actual
+        # argument: a fresh list stays fresh, so the append drops
+        verdicts = verdicts_of(
+            "def ident(xs: list) -> list:\n"
+            "    return xs\n"
+            "\n"
+            "def build() -> list:\n"
+            "    out = ident([])\n"
+            "    out.append(1)\n"
+            "    return out\n"
+        )
+        assert verdicts["repro.mem.m0.ident"] == PURE
+        assert verdicts["repro.mem.m0.build"] == PURE
+
+    def test_fresh_returning_helper_keeps_callers_pure(self):
+        verdicts = verdicts_of(
+            self.SHARED + "\n"
+            "def snapshot() -> dict:\n"
+            "    return dict(_SHARED)\n"
+            "\n"
+            "def edit() -> dict:\n"
+            "    d = snapshot()\n"
+            "    d['k'] = 1\n"
+            "    return d\n"
+        )
+        assert verdicts["repro.mem.m0.snapshot"] == READS_SHARED
+        assert verdicts["repro.mem.m0.edit"] == READS_SHARED
+
+    def test_return_alias_cycle_refuses_to_bound(self):
+        # two helpers returning each other's results: the cycle cuts to
+        # UNKNOWN provenance, so the mutation still poisons
+        verdicts = verdicts_of(
+            self.SHARED + "\n"
+            "def ping(n: int) -> dict:\n"
+            "    return pong(n) if n else get_shared()\n"
+            "\n"
+            "def pong(n: int) -> dict:\n"
+            "    return ping(n - 1)\n"
+            "\n"
+            "def taint() -> None:\n"
+            "    ping(3)['k'] = 1\n"
+        )
+        assert verdicts["repro.mem.m0.taint"] == MUTATES_SHARED
+
+
+class TestPathAlgebraAndClassmethods:
+    def test_os_path_helpers_are_pure_not_io(self):
+        # ``os.path.`` is path algebra; it must win over the broader
+        # ``os.`` I/O prefix instead of being dead allow-list weight
+        verdicts = verdicts_of(
+            "import os.path\n"
+            "\n"
+            "def anchor(base: str, name: str) -> str:\n"
+            "    return os.path.join(os.path.dirname(base), name)\n"
+            "\n"
+            "def cwd() -> str:\n"
+            "    return os.getcwd()\n"
+        )
+        assert verdicts["repro.mem.m0.anchor"] == PURE
+        assert verdicts["repro.mem.m0.cwd"] == MUTATES_SHARED
+
+    def test_classmethod_keeps_cls_receiver_state_shared(self):
+        # cls-reachable state is class-level shared state: writes through
+        # ``cls`` are SELF-mapped mutations, reads are shared reads
+        verdicts = verdicts_of(
+            "class Registry:\n"
+            "    _items = {}\n"
+            "\n"
+            "    @classmethod\n"
+            "    def add(cls, key: str) -> None:\n"
+            "        cls._items[key] = 1\n"
+            "\n"
+            "    @classmethod\n"
+            "    def peek(cls, key: str) -> int:\n"
+            "        return cls._items.get(key, 0)\n"
+        )
+        assert verdicts["repro.mem.m0.Registry.add"] == MUTATES_SHARED
+        assert verdicts["repro.mem.m0.Registry.peek"] == READS_SHARED
