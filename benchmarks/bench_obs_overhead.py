@@ -1,16 +1,21 @@
 """Observability overhead: the T2 availability scenario, tracing on vs off.
 
-Runs the same seeded scenario three ways and compares wall-clock cost:
+Runs the same seeded scenario several ways and compares wall-clock cost:
 
 - ``off``      — ``enable_tracing=False`` (the default): the kernel hot
   loop only pays a ``tracer is None`` branch check.
 - ``tracing``  — causal spans + per-event kernel accounting on.
+- ``profiler`` — tracing plus the sim-time profiler hooked into kernel
+  dispatch (one dict update per event).
 - ``dashboard``— tracing on, plus rendering the markdown dashboard and
   exporting the full artifact set (the worst case a benchmark run pays).
+- ``merge``    — snapshotting + deterministically merging four copies of
+  the traced run's telemetry (the coordinator-side cost of a sharded run).
 
 The acceptance bar is that tracing *off* stays within noise of the
-pre-observability kernel — asserted loosely here (wall-clock in CI is
-jittery) and recorded precisely in the benchmark report.
+pre-observability kernel, and profiler-on stays under 2x the
+tracing-only cost — asserted loosely here (wall-clock in CI is jittery)
+and recorded precisely in the benchmark report.
 """
 
 import time
@@ -20,14 +25,16 @@ import pytest
 
 from repro import Consumer, UserProfile, build_agora
 from repro.experiments import ExperimentResult, render_run_dashboard
+from repro.obs import merge_snapshots, snapshot_shard
 from repro.resilience import ResilienceConfig
 from repro.workloads import QueryWorkloadGenerator
 
 
 def run_scenario(seed=23, n_sources=10, n_queries=10, availability=0.5,
-                 enable_tracing=False):
+                 enable_tracing=False, enable_profiling=False):
     agora = build_agora(seed=seed, n_sources=n_sources, items_per_source=12,
-                        calibration_pairs=0, enable_tracing=enable_tracing)
+                        calibration_pairs=0, enable_tracing=enable_tracing,
+                        enable_profiling=enable_profiling)
     rng = np.random.default_rng(seed + 1)
     for node in agora.topology.nodes[:-1]:  # keep the consumer node up
         agora.health.set_state(node, bool(rng.random() < availability))
@@ -64,6 +71,11 @@ def run_overhead(seed=23, repeats=3) -> ExperimentResult:
     )
     off = timed(lambda: run_scenario(seed=seed), repeats)
     on = timed(lambda: run_scenario(seed=seed, enable_tracing=True), repeats)
+    profiled = timed(
+        lambda: run_scenario(seed=seed, enable_tracing=True,
+                             enable_profiling=True),
+        repeats,
+    )
 
     def full():
         agora = run_scenario(seed=seed, enable_tracing=True)
@@ -78,14 +90,31 @@ def run_overhead(seed=23, repeats=3) -> ExperimentResult:
         + len(traced.sim.metrics.gauges())
         + len(traced.sim.metrics.histograms())
     )
+
+    def merge_shards():
+        snapshots = [
+            snapshot_shard(shard_id, traced.sim.metrics, tracer=traced.tracer,
+                           sim_time=traced.sim.now,
+                           event_count=traced.sim.processed)
+            for shard_id in range(4)
+        ]
+        merge_snapshots(snapshots)
+
+    merge = timed(merge_shards, repeats)
+
     result.add_row("off", round(off, 4), 1.0, 0, 0)
     result.add_row("tracing", round(on, 4), round(on / off, 3), spans,
                    metric_count)
+    result.add_row("profiler", round(profiled, 4), round(profiled / off, 3),
+                   spans, metric_count)
     result.add_row("dashboard", round(dashboard, 4), round(dashboard / off, 3),
                    spans, metric_count)
+    result.add_row("merge(4 shards)", round(merge, 4), round(merge / off, 3),
+                   4 * spans, metric_count)
     result.add_note(
         "vs_off is the wall-clock ratio against tracing disabled; the "
-        "acceptance bar is off-mode overhead <= 5% vs the seed kernel"
+        "acceptance bars are off-mode overhead <= 5% vs the seed kernel "
+        "and profiler-on < 2x the tracing-only cost"
     )
     return result
 
@@ -100,6 +129,8 @@ def test_obs_overhead(benchmark):
     assert by_mode["tracing"][2] < 2.0
     assert by_mode["dashboard"][2] < 2.5
     assert by_mode["tracing"][3] > 0  # spans actually recorded
+    # Profiler-on must stay under 2x the tracing-only wall clock.
+    assert by_mode["profiler"][1] < 2.0 * by_mode["tracing"][1]
 
 
 if __name__ == "__main__":

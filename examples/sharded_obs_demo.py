@@ -1,0 +1,221 @@
+"""Coordinate a sharded run: real worker processes, one merged trace.
+
+A coordinator process opens a root span, mints one
+:class:`repro.obs.context.TraceContext` per worker shard, and spawns N
+real worker processes.  Each worker attaches the capsule (continuing the
+coordinator's trace inside its own span-id namespace), runs a seeded
+simulator workload, and exports a :class:`repro.obs.aggregate.ShardSnapshot`.
+The coordinator then merges every shard deterministically and writes:
+
+    runs/<name>/manifest.json         merged manifest (per-shard sections)
+    runs/<name>/merged_spans.jsonl    interleaved cross-shard span stream
+    runs/<name>/merged_metrics.jsonl  merged counters/gauges/histograms
+    runs/<name>/profile.folded        coordinator flamegraph (sim time)
+    runs/<name>/profile.json          hotspot table
+    runs/<name>/slo.json              burn-rate report over merged metrics
+    runs/<name>/shard-<k>/shard.json  each worker's snapshot
+
+Two invocations with the same ``--seed`` produce byte-identical merged
+artifacts — attest it with::
+
+    python examples/sharded_obs_demo.py --seed 11 --out runs/a
+    python examples/sharded_obs_demo.py --seed 11 --out runs/b
+    cmp runs/a/merged_spans.jsonl runs/b/merged_spans.jsonl
+    python -m repro.obs diff runs/a/manifest.json runs/b/manifest.json
+"""
+
+import argparse
+import multiprocessing
+from pathlib import Path
+from typing import Any, Dict, Generator, List
+
+from repro.obs import (
+    SLOMonitor,
+    SLOSpec,
+    SimProfiler,
+    SpanTracer,
+    TraceContext,
+    derive_trace_id,
+    export_merged_run,
+    load_shard_snapshot,
+    merge_snapshots,
+    merged_manifest,
+    snapshot_shard,
+    write_profile,
+    write_shard_snapshot,
+    write_slo_report,
+)
+from repro.obs.aggregate import SHARD_SNAPSHOT_FILE
+from repro.obs.manifest import config_digest
+from repro.sim.kernel import Simulator
+
+
+def demo_slos(window: float = 100.0) -> List[SLOSpec]:
+    """Observe-only SLOs over the ``work.*`` metrics — one of each kind."""
+    return [
+        SLOSpec(
+            name="work-success",
+            kind="error_budget",
+            objective=0.9,
+            window=window,
+            bad="work.errors",
+            total="work.ops",
+        ),
+        SLOSpec(
+            name="work-availability",
+            kind="availability",
+            objective=0.9,
+            window=window,
+            good="work.ops_ok",
+            total="work.ops",
+        ),
+        SLOSpec(
+            name="work-latency-p90",
+            kind="latency_quantile",
+            objective=0.9,
+            window=window,
+            metric="work.latency",
+            threshold=1.6,
+        ),
+    ]
+
+
+def _settle(sim: Simulator, latency: float) -> Any:
+    """A follow-up callback scheduled from inside an ``op`` span.
+
+    The kernel captures the active span at schedule time, so the
+    profiler attributes this event's sim time to the ``…;op;settle``
+    stack — which is what makes the demo flamegraph multi-level.
+    """
+
+    def settle() -> None:
+        tracer = sim.tracer if sim.tracer is not None else SpanTracer(enabled=False)
+        with tracer.span("settle"):
+            sim.metrics.histogram("work.lookup").observe(latency / 2.0)
+
+    return settle
+
+
+def _work_process(
+    sim: Simulator, ops: int
+) -> Generator[float, None, None]:
+    """A seeded query-ish workload: spans + counters + distributions."""
+    tracer = sim.tracer if sim.tracer is not None else SpanTracer(enabled=False)
+    registry = sim.metrics
+    rng = sim.rng.stream("work")
+    for index in range(ops):
+        with tracer.span("op", index=index):
+            latency = float(rng.uniform(0.05, 2.0))
+            registry.counter("work.ops").inc()
+            registry.histogram("work.latency").observe(latency)
+            if latency > 1.6:
+                registry.counter("work.errors").inc()
+            else:
+                registry.counter("work.ops_ok").inc()
+            registry.gauge("work.last_latency").set(latency)
+            sim.schedule(latency / 2.0, _settle(sim, latency), tag="settle")
+        yield latency
+
+
+def run_worker(
+    seed: int, context_payload: Dict[str, Any], ops: int, out_dir: str
+) -> None:
+    """Worker entry point (top-level so ``spawn`` can pickle it)."""
+    context = TraceContext.from_dict(context_payload)
+    tracer = SpanTracer()
+    tracer.attach(context)
+    sim = Simulator(seed=seed * 1000 + context.shard_id, tracer=tracer)
+    with tracer.span("shard", shard=context.shard_id):
+        sim.process(_work_process(sim, ops), tag="shard-work")
+        sim.run()
+    snapshot = snapshot_shard(
+        context.shard_id,
+        sim.metrics,
+        tracer=tracer,
+        sim_time=sim.now,
+        event_count=sim.processed,
+    )
+    write_shard_snapshot(
+        snapshot,
+        Path(out_dir) / f"shard-{context.shard_id}" / SHARD_SNAPSHOT_FILE,
+    )
+
+
+def coordinate(seed: int, shards: int, ops: int, out: str) -> Dict[str, str]:
+    out_dir = Path(out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    trace_id = derive_trace_id(seed, scope="sharded-demo")
+    tracer = SpanTracer(shard_id=0, trace_id=trace_id)
+    profiler = SimProfiler()
+    sim = Simulator(seed=seed, tracer=tracer, profiler=profiler)
+
+    contexts: Dict[int, TraceContext] = {}
+    with tracer.span("coordinate", shards=shards):
+        for shard_id in range(1, shards + 1):
+            with tracer.span("dispatch", shard=shard_id):
+                contexts[shard_id] = tracer.context_for(shard_id)
+        # The coordinator runs its own small profiled workload so the
+        # flamegraph has named stacks to attribute sim time to.
+        sim.process(_work_process(sim, ops), tag="coordinator-work")
+        sim.run()
+
+    spawn = multiprocessing.get_context("spawn")
+    workers = [
+        spawn.Process(
+            target=run_worker,
+            args=(seed, contexts[shard_id].to_dict(), ops, str(out_dir)),
+        )
+        for shard_id in sorted(contexts)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+        if worker.exitcode != 0:
+            raise RuntimeError(f"worker exited with code {worker.exitcode}")
+
+    snapshots = [
+        snapshot_shard(
+            0, sim.metrics, tracer=tracer, sim_time=sim.now,
+            event_count=sim.processed,
+        )
+    ]
+    for shard_id in sorted(contexts):
+        snapshots.append(
+            load_shard_snapshot(out_dir / f"shard-{shard_id}" / SHARD_SNAPSHOT_FILE)
+        )
+
+    merged = merge_snapshots(snapshots)
+    digest = config_digest(
+        {"demo": "sharded-obs", "shards": shards, "ops": ops}
+    )
+    manifest = merged_manifest(
+        snapshots, seed=seed, config_digest=digest,
+        merged=merged, scenario="sharded-obs-demo",
+    )
+    written = export_merged_run(out_dir, merged, manifest)
+    written.update(write_profile(out_dir, profiler, tracer.spans()))
+
+    slos = SLOMonitor(merged.registry, demo_slos())
+    slos.sample(merged.sim_time)
+    report = slos.evaluate()
+    slo_path = out_dir / "slo.json"
+    write_slo_report(report, slo_path)
+    written["slo"] = str(slo_path)
+    return written
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--ops", type=int, default=40)
+    parser.add_argument("--out", default="runs/sharded-demo")
+    args = parser.parse_args()
+    written = coordinate(args.seed, args.shards, args.ops, args.out)
+    for kind in sorted(written):
+        print(f"{kind}: {written[kind]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,9 +30,12 @@ from repro.net.topology import (
     small_world_topology,
     star_topology,
 )
+from repro.obs.context import derive_trace_id
 from repro.obs.manifest import RunManifest, config_digest
+from repro.obs.profile import SimProfiler
+from repro.obs.slo import SLOMonitor, SLOReport
 from repro.obs.spans import SpanTracer
-from repro.qos.monitor import ContractMonitor
+from repro.qos.monitor import ContractMonitor, default_qos_slos
 from repro.query.oracle import RelevanceOracle
 from repro.resilience.breaker import BreakerBoard
 from repro.resilience.faults import FaultInjector, FaultScript
@@ -57,9 +60,16 @@ class Agora:
     def __init__(self, config: AgoraConfig):
         self.config = config
         self.tracer: Optional[SpanTracer] = (
-            SpanTracer() if config.enable_tracing else None
+            SpanTracer(trace_id=derive_trace_id(config.seed))
+            if config.enable_tracing
+            else None
         )
-        self.sim = Simulator(seed=config.seed, tracer=self.tracer)
+        self.profiler: Optional[SimProfiler] = (
+            SimProfiler() if config.enable_profiling else None
+        )
+        self.sim = Simulator(
+            seed=config.seed, tracer=self.tracer, profiler=self.profiler
+        )
         streams = self.sim.rng.spawn("agora")
         self._streams = streams
 
@@ -99,7 +109,14 @@ class Agora:
 
         # --- market infrastructure ------------------------------------
         self.registry = SourceRegistry()
+        self.slos: Optional[SLOMonitor] = (
+            SLOMonitor(self.sim.metrics, default_qos_slos())
+            if config.enable_slos
+            else None
+        )
         self.monitor = ContractMonitor(metrics=self.sim.metrics)
+        if self.slos is not None:
+            self.monitor.attach_slos(self.slos, now_fn=lambda: self.sim.now)
         self.reputation = ReputationSystem()
         self.monitor.on_compliance(self.reputation.observe)
 
@@ -291,6 +308,10 @@ class Agora:
             metrics=self.sim.metrics.snapshot(),
             labels=dict(labels),
         )
+
+    def slo_report(self) -> Optional[SLOReport]:
+        """Burn-rate report over the stock QoS SLOs (``None`` when off)."""
+        return self.monitor.slo_report(now=self.sim.now)
 
     def consumer_node(self) -> str:
         """The overlay node consumers attach to (last node by convention)."""

@@ -41,6 +41,14 @@ class AgoraConfig:
     #: span trees (off by default: tracing costs a few percent and most
     #: runs only need the metrics registry, which is always on)
     enable_tracing: bool = False
+    #: hook a sim-time profiler into kernel dispatch, attributing
+    #: virtual-time deltas and event counts to span stacks; pairs with
+    #: ``enable_tracing`` for named stacks (without it every sample
+    #: lands in the unattributed bucket)
+    enable_profiling: bool = False
+    #: sample and evaluate the stock observe-only QoS SLOs
+    #: (:func:`repro.qos.monitor.default_qos_slos`) at each settlement
+    enable_slos: bool = False
     #: default consumer-side resilience policies (off unless enabled);
     #: individual consumers may override with their own config
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)

@@ -6,14 +6,43 @@ executor, experiments — can record into one shared vocabulary:
 
 - :class:`SpanTracer` / :class:`Span` — causal span trees over the
   virtual clock, propagated through the kernel's event queue.
+- :class:`TraceContext` (``obs.context``) — the serializable capsule
+  that continues a coordinator span inside a worker process, with
+  per-shard span-id namespaces so merged traces are collision-free.
 - :class:`MetricsRegistry` — counters, gauges and fixed-bucket
   histograms with deterministic snapshots.
+- :class:`ShardSnapshot` / :func:`merge_snapshots` (``obs.aggregate``) —
+  the order-free deterministic merge of N shards' telemetry.
+- :class:`SimProfiler` (``obs.profile``) — sim-time profiler over
+  kernel event dispatch: folded-stack flamegraph output + hotspots.
+- :class:`SLOSpec` / :class:`SLOMonitor` (``obs.slo``) — declarative
+  SLOs evaluated as rolling burn-rate windows, observe-only.
 - :class:`RunManifest` / :func:`diff_manifests` — canonical run
-  provenance; two runs are attested identical iff their diff is clean.
+  provenance (now with per-shard sections); two runs are attested
+  identical iff their diff is clean.
 - JSONL exporters, a markdown dashboard renderer, and the
-  ``python -m repro.obs`` CLI (``summary`` / ``spans`` / ``diff``).
+  ``python -m repro.obs`` CLI (``summary [--by-shard]`` / ``spans`` /
+  ``diff`` / ``flame`` / ``slo``).
 """
 
+from repro.obs.aggregate import (
+    MergedRun,
+    ShardSnapshot,
+    export_merged_run,
+    load_shard_snapshot,
+    merge_snapshots,
+    merged_manifest,
+    snapshot_shard,
+    write_merged_spans_jsonl,
+    write_shard_snapshot,
+)
+from repro.obs.context import (
+    SHARD_SPAN_STRIDE,
+    TraceContext,
+    derive_trace_id,
+    seq_of,
+    shard_of,
+)
 from repro.obs.dashboard import append_dashboard, render_dashboard, span_cost_rows
 from repro.obs.export import (
     export_run,
@@ -40,6 +69,21 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.profile import (
+    HotSpot,
+    SimProfiler,
+    parse_folded,
+    render_hotspots,
+    write_profile,
+)
+from repro.obs.slo import (
+    SLOMonitor,
+    SLOReport,
+    SLOSpec,
+    SLOStatus,
+    load_slo_report,
+    write_slo_report,
+)
 from repro.obs.spans import (
     NULL_SPAN,
     NULL_TRACER,
@@ -55,31 +99,56 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "NULL_SPAN",
     "NULL_TRACER",
+    "SHARD_SPAN_STRIDE",
     "Counter",
     "Drift",
     "Gauge",
     "Histogram",
+    "HotSpot",
     "ManifestDiff",
+    "MergedRun",
     "MetricsRegistry",
     "RunManifest",
+    "SLOMonitor",
+    "SLOReport",
+    "SLOSpec",
+    "SLOStatus",
+    "ShardSnapshot",
+    "SimProfiler",
     "Span",
     "SpanTracer",
+    "TraceContext",
     "ancestors",
     "append_dashboard",
     "canonical_json",
     "child_map",
     "config_digest",
+    "derive_trace_id",
     "descendants_of",
     "diff_manifests",
+    "export_merged_run",
     "export_run",
     "flatten_manifest",
     "load_manifest",
     "load_metrics_jsonl",
+    "load_shard_snapshot",
+    "load_slo_report",
     "load_spans_jsonl",
+    "merge_snapshots",
+    "merged_manifest",
+    "parse_folded",
     "render_dashboard",
+    "render_hotspots",
+    "seq_of",
+    "shard_of",
+    "snapshot_shard",
     "span_cost_rows",
     "span_index",
     "write_manifest",
+    "write_merged_spans_jsonl",
     "write_metrics_jsonl",
+    "write_profile",
+    "write_shard_snapshot",
+    "write_slo_report",
     "write_spans_jsonl",
 ]

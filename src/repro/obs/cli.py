@@ -2,13 +2,23 @@
 
 Subcommands
 -----------
-``summary <manifest.json>``
-    Print a run's provenance header and its metric snapshot.
+``summary <manifest.json> [--by-shard]``
+    Print a run's provenance header and its metric snapshot; with
+    ``--by-shard``, also the per-shard sections of a merged manifest.
 ``spans <spans.jsonl>``
     Render the exported span forest as an indented causal tree.
 ``diff <left-manifest.json> <right-manifest.json>``
     Compare two run manifests; exit 0 on zero drift, 1 when any field or
     metric drifted (the machine-checkable regression gate).
+``flame <profile.folded> [--top N]``
+    Render a folded-stack profile as a ranked hotspot table.
+``slo <slo.json> [--strict]``
+    Render an exported SLO burn-rate report; with ``--strict``, exit 1
+    when any SLO is critical (the default stays observe-only).
+
+Exit codes: 0 success (and clean diff / non-breached strict slo),
+1 drift or strict-mode breach, 2 usage errors and unreadable/invalid
+artifact files (reported on stderr, never as a traceback).
 
 The CLI works on *files only* — recording happens wherever a run happens
 (see ``examples/observability_demo.py``), keeping ``repro.obs`` at the
@@ -18,10 +28,15 @@ bottom of the layer DAG.
 from __future__ import annotations
 
 import argparse
+import json
+import sys
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.export import load_manifest, load_spans_jsonl
 from repro.obs.manifest import RunManifest, diff_manifests
+from repro.obs.profile import parse_folded
+from repro.obs.slo import SLOReport, load_slo_report
 from repro.obs.spans import Span, child_map
 
 
@@ -57,7 +72,7 @@ def render_span_tree(spans: Sequence[Span], limit: Optional[int] = None) -> str:
     return "\n".join(lines)
 
 
-def _render_summary(manifest: RunManifest, top: int) -> str:
+def _render_summary(manifest: RunManifest, top: int, by_shard: bool = False) -> str:
     lines = [
         f"seed:           {manifest.seed}",
         f"config digest:  {manifest.config_digest}",
@@ -65,6 +80,19 @@ def _render_summary(manifest: RunManifest, top: int) -> str:
         f"events:         {manifest.event_count}",
         f"spans:          {manifest.span_count}",
     ]
+    if by_shard:
+        if not manifest.shards:
+            lines.append("shards:         (single-process run: no per-shard sections)")
+        else:
+            lines.append(f"shards ({len(manifest.shards)}):")
+            for shard_id in sorted(manifest.shards, key=int):
+                section = manifest.shards[shard_id]
+                lines.append(
+                    f"  shard {shard_id}: sim_time={section.get('sim_time', 0.0):g} "
+                    f"events={section.get('event_count', 0)} "
+                    f"spans={section.get('span_count', 0)} "
+                    f"dropped={section.get('dropped_spans', 0)}"
+                )
     metrics: Dict[str, Any] = manifest.metrics
     counters: Dict[str, float] = dict(metrics.get("counters", {}))
     if counters:
@@ -97,6 +125,11 @@ def _build_parser() -> argparse.ArgumentParser:
     summary.add_argument(
         "--top", type=int, default=10, help="how many metrics to show (default 10)"
     )
+    summary.add_argument(
+        "--by-shard",
+        action="store_true",
+        help="also print the per-shard sections of a merged manifest",
+    )
 
     spans = subparsers.add_parser("spans", help="render an exported span tree")
     spans.add_argument("spans", help="path to spans.jsonl")
@@ -109,14 +142,54 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     diff.add_argument("left", help="path to the first manifest.json")
     diff.add_argument("right", help="path to the second manifest.json")
+
+    flame = subparsers.add_parser(
+        "flame", help="render a folded-stack profile as a hotspot table"
+    )
+    flame.add_argument("folded", help="path to profile.folded")
+    flame.add_argument(
+        "--top", type=int, default=10, help="how many stacks to show (default 10)"
+    )
+
+    slo = subparsers.add_parser("slo", help="render an exported SLO burn-rate report")
+    slo.add_argument("report", help="path to slo.json")
+    slo.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any SLO is at critical burn (default: observe-only)",
+    )
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+def render_flame_table(entries: Sequence[Any], top: int) -> str:
+    """Ranked text table of parsed folded-stack ``(stack, value)`` pairs."""
+    if not entries:
+        return "(empty profile)"
+    total = sum(value for _, value in entries)
+    ranked = sorted(entries, key=lambda entry: (-entry[1], entry[0]))[:top]
+    lines = [f"{'value':>12}  {'share':>6}  stack"]
+    for stack, value in ranked:
+        share = value / total if total > 0 else 0.0
+        lines.append(f"{value:>12d}  {share:>6.1%}  {stack}")
+    return "\n".join(lines)
+
+
+def _render_slo(report: SLOReport, strict: bool) -> int:
+    print(f"evaluated at: {report.evaluated_at:g}")
+    print(report.render())
+    if strict and report.breached:
+        print("strict mode: at least one SLO is at critical burn", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "summary":
-        print(_render_summary(load_manifest(args.manifest), top=args.top))
+        print(
+            _render_summary(
+                load_manifest(args.manifest), top=args.top, by_shard=args.by_shard
+            )
+        )
         return 0
     if args.command == "spans":
         print(render_span_tree(load_spans_jsonl(args.spans), limit=args.limit))
@@ -125,4 +198,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = diff_manifests(load_manifest(args.left), load_manifest(args.right))
         print(report.render())
         return 0 if report.clean else 1
+    if args.command == "flame":
+        entries = parse_folded(Path(args.folded).read_text())
+        print(render_flame_table(entries, top=args.top))
+        return 0
+    if args.command == "slo":
+        return _render_slo(load_slo_report(args.report), strict=args.strict)
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Usage errors (unknown subcommand, bad flags) and unreadable or
+    malformed artifact files exit 2 with a message on stderr — never a
+    traceback.
+    """
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exc:  # argparse exits itself; surface as a code
+        code = exc.code
+        return code if isinstance(code, int) else 2
+    try:
+        return _dispatch(args)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

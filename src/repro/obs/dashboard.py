@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import SLOReport
 from repro.obs.spans import Span
 
 
@@ -48,6 +49,7 @@ def render_dashboard(
     spans: Optional[Sequence[Span]] = None,
     manifest: Optional[RunManifest] = None,
     title: str = "Run dashboard",
+    slo_report: Optional[SLOReport] = None,
 ) -> str:
     """Render the full markdown dashboard for one run."""
     lines: List[str] = [f"## {title}", ""]
@@ -62,6 +64,44 @@ def render_dashboard(
                 "",
             ]
         )
+        if manifest.shards:
+            lines.extend(["### Shards", ""])
+            rows = []
+            for shard_id in sorted(manifest.shards, key=int):
+                section = manifest.shards[shard_id]
+                rows.append(
+                    [
+                        shard_id,
+                        _format(float(section.get("sim_time", 0.0))),
+                        str(int(section.get("event_count", 0))),
+                        str(int(section.get("span_count", 0))),
+                        str(int(section.get("dropped_spans", 0))),
+                    ]
+                )
+            lines.extend(
+                _table(["shard", "sim time", "events", "spans", "dropped"], rows)
+            )
+            lines.append("")
+    if slo_report is not None and slo_report.statuses:
+        lines.extend(["### SLO burn rates", ""])
+        lines.extend(
+            _table(
+                ["slo", "kind", "sli", "budget", "burn", "events", "status"],
+                [
+                    [
+                        status.name,
+                        status.kind,
+                        f"{status.sli:.4f}",
+                        f"{status.budget:.4f}",
+                        f"{status.burn_rate:.2f}",
+                        str(status.events),
+                        status.status,
+                    ]
+                    for status in slo_report.statuses
+                ],
+            )
+        )
+        lines.append("")
     counters = registry.counters()
     if counters:
         lines.extend(["### Counters", ""])
@@ -124,7 +164,10 @@ def append_dashboard(
     spans: Optional[Sequence[Span]] = None,
     manifest: Optional[RunManifest] = None,
     title: str = "Run dashboard",
+    slo_report: Optional[SLOReport] = None,
 ) -> None:
     """Append the rendered dashboard to a markdown report file."""
     with open(path, "a") as handle:
-        handle.write("\n" + render_dashboard(registry, spans, manifest, title))
+        handle.write(
+            "\n" + render_dashboard(registry, spans, manifest, title, slo_report)
+        )

@@ -12,6 +12,8 @@ from typing import Any, Dict, List, Optional, Sequence, Union
 
 from repro.obs.manifest import RunManifest, canonical_json
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SimProfiler, write_profile
+from repro.obs.slo import SLOReport, write_slo_report
 from repro.obs.spans import Span, SpanTracer
 
 PathLike = Union[str, Path]
@@ -20,6 +22,7 @@ PathLike = Union[str, Path]
 SPANS_FILE = "spans.jsonl"
 METRICS_FILE = "metrics.jsonl"
 MANIFEST_FILE = "manifest.json"
+SLO_FILE = "slo.json"
 
 
 def write_spans_jsonl(spans: Sequence[Span], path: PathLike) -> int:
@@ -85,12 +88,16 @@ def export_run(
     manifest: RunManifest,
     registry: Optional[MetricsRegistry] = None,
     tracer: Optional[SpanTracer] = None,
+    profiler: Optional[SimProfiler] = None,
+    slo_report: Optional[SLOReport] = None,
 ) -> Dict[str, str]:
     """Write a run's full artifact set into ``directory``.
 
     Produces ``manifest.json`` always, plus ``metrics.jsonl`` /
-    ``spans.jsonl`` when a registry/tracer is given.  Returns a map of
-    artifact kind → written path (for logs and CI upload globs).
+    ``spans.jsonl`` when a registry/tracer is given, ``profile.folded``
+    + ``profile.json`` when a profiler is given (stacks need the tracer
+    too), and ``slo.json`` when an SLO report is given.  Returns a map
+    of artifact kind → written path (for logs and CI upload globs).
     """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
@@ -106,4 +113,11 @@ def export_run(
         spans_path = target / SPANS_FILE
         write_spans_jsonl(tracer.spans(), spans_path)
         written["spans"] = str(spans_path)
+    if profiler is not None:
+        spans = tracer.spans() if tracer is not None else []
+        written.update(write_profile(target, profiler, spans))
+    if slo_report is not None:
+        slo_path = target / SLO_FILE
+        write_slo_report(slo_report, slo_path)
+        written["slo"] = str(slo_path)
     return written

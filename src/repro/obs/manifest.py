@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
 #: Manifest schema version; bump on incompatible field changes.
-MANIFEST_VERSION = "1"
+#: "2" added the per-shard ``shards`` sections (multi-process merges).
+MANIFEST_VERSION = "2"
 
 
 def _jsonable(value: Any) -> Any:
@@ -56,6 +57,11 @@ class RunManifest:
     event_count: int
     span_count: int
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: per-shard provenance sections for merged multi-process runs, keyed
+    #: by decimal shard id (empty for single-process runs); *included* in
+    #: drift comparison — a shard appearing, vanishing or drifting is a
+    #: reportable difference
+    shards: Dict[str, Any] = field(default_factory=dict)
     #: free-form annotations (run name, scenario, host notes); *excluded*
     #: from drift comparison so two attested-identical runs may still be
     #: labelled differently
@@ -71,6 +77,7 @@ class RunManifest:
             "event_count": self.event_count,
             "span_count": self.span_count,
             "metrics": self.metrics,
+            "shards": {key: dict(value) for key, value in self.shards.items()},
             "labels": dict(self.labels),
         }
 
@@ -93,6 +100,7 @@ class RunManifest:
             event_count=int(payload["event_count"]),
             span_count=int(payload["span_count"]),
             metrics=dict(payload.get("metrics", {})),
+            shards=dict(payload.get("shards", {})),
             labels=dict(payload.get("labels", {})),
             version=str(payload.get("version", MANIFEST_VERSION)),
         )

@@ -99,11 +99,24 @@ class Histogram:
         return tuple(self._counts)
 
     def quantile(self, q: float) -> float:
-        """Estimate the ``q``-quantile (``q`` in [0, 1]); 0 when empty."""
+        """Estimate the ``q``-quantile (``q`` in [0, 1]).
+
+        Edge-case contract (pinned by regression tests):
+
+        - empty histogram → 0.0 (a defined sentinel, never ±inf);
+        - ``q == 0`` → the observed minimum, ``q == 1`` → the maximum;
+        - a single observation → that observation, for every ``q``;
+        - all observations in the overflow bucket → interpolation inside
+          ``[minimum, maximum]`` (never the finite bucket ceiling).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
         if self.count == 0:
             return 0.0
+        if q == 0.0 or self.count == 1:
+            return self.minimum
+        if q == 1.0:
+            return self.maximum
         target = q * self.count
         cumulative = 0
         for index, bucket_count in enumerate(self._counts):
@@ -122,6 +135,61 @@ class Histogram:
                 return lower + fraction * (upper - lower)
             cumulative += bucket_count
         return self.maximum
+
+    # -- shard-merge support ---------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Full serializable state (exact bucket counts, not a summary).
+
+        Unlike :meth:`summary`, this captures everything needed to merge
+        histograms bucket-wise across shards; ``min``/``max`` serialize
+        as ``None`` when empty so the payload stays JSON-clean.
+        """
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self._counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+        }
+
+    @classmethod
+    def from_state(cls, name: str, state: Dict[str, Any]) -> "Histogram":
+        """Inverse of :meth:`state_dict`."""
+        histogram = cls(name, tuple(float(b) for b in state["buckets"]))
+        counts = [int(c) for c in state["counts"]]
+        if len(counts) != len(histogram._counts):
+            raise ValueError(
+                f"histogram {name!r}: state has {len(counts)} bucket counts, "
+                f"expected {len(histogram._counts)}"
+            )
+        histogram._counts = counts
+        histogram.count = int(state["count"])
+        histogram.total = float(state["total"])
+        if histogram.count:
+            histogram.minimum = float(state["min"])
+            histogram.maximum = float(state["max"])
+        return histogram
+
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations in, bucket-wise and exactly.
+
+        Requires identical bucket bounds — merging histograms with
+        different ladders would silently degrade quantile resolution, so
+        it is an error instead.
+        """
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histogram {other.name!r} into {self.name!r}: "
+                "bucket bounds differ"
+            )
+        for index, bucket_count in enumerate(other._counts):
+            self._counts[index] += bucket_count
+        self.count += other.count
+        self.total += other.total
+        if other.count:
+            self.minimum = min(self.minimum, other.minimum)
+            self.maximum = max(self.maximum, other.maximum)
 
     def summary(self) -> Dict[str, float]:
         """Compact summary: count, mean, min, max, p50/p90/p99."""

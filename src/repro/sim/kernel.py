@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Optional
 
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import SimProfiler
 from repro.obs.spans import SpanTracer
 from repro.sim.events import Event, EventQueue
 from repro.sim.rng import RngStreams
@@ -41,6 +42,12 @@ class Simulator:
         onto whatever caused the callback, not onto the event loop.
         ``None`` (the default) keeps the hot loop branch-only: no
         per-event tracing work happens at all.
+    profiler:
+        Optional sim-time profiler.  When attached, the kernel reports
+        every dispatched event's causal span id and the advanced clock
+        to :meth:`repro.obs.profile.SimProfiler.record`, attributing
+        elapsed sim time and event counts to span stacks.  ``None`` (the
+        default) keeps the hot loop branch-only, mirroring ``tracer``.
 
     Example
     -------
@@ -57,11 +64,13 @@ class Simulator:
         seed: int = 0,
         trace: Optional[TraceRecorder] = None,
         tracer: Optional[SpanTracer] = None,
+        profiler: Optional[SimProfiler] = None,
     ):
         self.now: float = 0.0
         self.rng = RngStreams(seed)
         self.trace = trace if trace is not None else TraceRecorder()
         self.tracer = tracer
+        self.profiler = profiler
         if tracer is not None:
             tracer.bind_clock(lambda: self.now)
         self._queue = EventQueue()
@@ -151,6 +160,7 @@ class Simulator:
         self._running = True
         processed = 0
         tracer = self.tracer
+        profiler = self.profiler
         try:
             while True:
                 if max_events is not None and processed >= max_events:
@@ -163,6 +173,8 @@ class Simulator:
                 event = self._queue.pop()
                 assert event is not None
                 self.now = event.time
+                if profiler is not None:
+                    profiler.record(event.span_id, self.now)
                 if tracer is not None and event.span_id is not None:
                     # Re-enter the causal context the event was scheduled
                     # under so spans opened by the callback parent onto

@@ -1,0 +1,97 @@
+"""Cross-process round trip: two real worker processes, one merged trace.
+
+The acceptance bar for shard-ready observability: the sharded demo —
+a coordinator plus >= 2 spawned worker processes, each continuing the
+coordinator's trace through an attached ``TraceContext`` — run twice
+with the same seed produces byte-identical merged span/metric JSONL
+and identical merged-manifest digests.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs import load_manifest, load_spans_jsonl, shard_of
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEMO = REPO_ROOT / "examples" / "sharded_obs_demo.py"
+
+MERGED_ARTIFACTS = ("manifest.json", "merged_spans.jsonl",
+                    "merged_metrics.jsonl", "profile.folded", "slo.json")
+
+
+def run_demo(out_dir, seed=11, shards=2, ops=25):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env["PYTHONHASHSEED"] = "0"
+    subprocess.run(
+        [sys.executable, str(DEMO), "--seed", str(seed),
+         "--shards", str(shards), "--ops", str(ops), "--out", str(out_dir)],
+        check=True, env=env, timeout=120,
+    )
+    return Path(out_dir)
+
+
+@pytest.mark.slow
+class TestShardedRoundTrip:
+    @pytest.fixture(scope="class")
+    def runs(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("sharded")
+        first = run_demo(base / "a")
+        second = run_demo(base / "b")
+        return first, second
+
+    def test_merged_artifacts_are_byte_identical(self, runs):
+        first, second = runs
+        for artifact in MERGED_ARTIFACTS:
+            left = (first / artifact).read_bytes()
+            right = (second / artifact).read_bytes()
+            assert left == right, f"{artifact} differs between same-seed runs"
+
+    def test_merged_manifest_digests_match(self, runs):
+        first, second = runs
+        left = load_manifest(first / "manifest.json")
+        right = load_manifest(second / "manifest.json")
+        assert left.digest() == right.digest()
+        assert sorted(left.shards) == ["0", "1", "2"]
+
+    def test_worker_spans_continue_the_coordinator_trace(self, runs):
+        first, _ = runs
+        spans = load_spans_jsonl(first / "merged_spans.jsonl")
+        by_shard = {}
+        for span in spans:
+            by_shard.setdefault(shard_of(span.span_id), []).append(span)
+        assert sorted(by_shard) == [0, 1, 2]
+        ids = {span.span_id for span in spans}
+        assert len(ids) == len(spans)  # collision-free across shards
+        # Every worker shard's root span parents onto a coordinator span.
+        coordinator_ids = {s.span_id for s in by_shard[0]}
+        for shard_id in (1, 2):
+            roots = [s for s in by_shard[shard_id]
+                     if s.parent_id not in {x.span_id for x in by_shard[shard_id]}]
+            assert roots
+            for root in roots:
+                assert root.parent_id in coordinator_ids
+
+    def test_worker_snapshots_carry_the_shared_trace_id(self, runs):
+        first, _ = runs
+        trace_ids = set()
+        for shard_id in (1, 2):
+            payload = json.loads(
+                (first / f"shard-{shard_id}" / "shard.json").read_text()
+            )
+            assert payload["shard_id"] == shard_id
+            trace_ids.add(payload["trace_id"])
+        assert len(trace_ids) == 1
+        assert trace_ids.pop()  # non-empty: derived from the seed
+
+    def test_different_seed_drifts(self, runs, tmp_path):
+        first, _ = runs
+        other = run_demo(tmp_path / "c", seed=12)
+        left = load_manifest(first / "manifest.json")
+        right = load_manifest(other / "manifest.json")
+        assert left.digest() != right.digest()

@@ -1,0 +1,213 @@
+"""Tests for the deterministic shard-snapshot merge law."""
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    ShardSnapshot,
+    SpanTracer,
+    TraceContext,
+    load_shard_snapshot,
+    merge_snapshots,
+    merged_manifest,
+    shard_of,
+    snapshot_shard,
+    write_merged_spans_jsonl,
+    write_shard_snapshot,
+)
+from repro.obs.aggregate import export_merged_run
+
+
+def make_snapshot(shard_id, sim_time=10.0, counters=None, gauges=None,
+                  values=(), buckets=(1.0, 2.0)):
+    registry = MetricsRegistry()
+    for name, value in (counters or {}).items():
+        registry.counter(name).inc(value)
+    for name, value in (gauges or {}).items():
+        registry.gauge(name).set(value)
+    for value in values:
+        registry.histogram("lat", buckets=buckets).observe(value)
+    tracer = SpanTracer()
+    tracer.attach(TraceContext(trace_id="t", shard_id=shard_id))
+    with tracer.span("shard"):
+        with tracer.span("op"):
+            pass
+    return snapshot_shard(
+        shard_id, registry, tracer=tracer, sim_time=sim_time,
+        event_count=int(sim_time),
+    )
+
+
+class TestMergeLaw:
+    def test_counters_sum(self):
+        merged = merge_snapshots([
+            make_snapshot(0, counters={"ops": 3.0}),
+            make_snapshot(1, counters={"ops": 4.0, "extra": 1.0}),
+        ])
+        assert merged.registry.counter_value("ops") == 7.0
+        assert merged.registry.counter_value("extra") == 1.0
+
+    def test_gauges_resolve_by_sim_time_then_shard(self):
+        late = make_snapshot(0, sim_time=20.0, gauges={"depth": 5.0})
+        early = make_snapshot(1, sim_time=10.0, gauges={"depth": 9.0})
+        merged = merge_snapshots([late, early])
+        assert merged.registry.gauge_value("depth") == 5.0
+        # Equal sim times: the higher shard id wins (total order).
+        tie_a = make_snapshot(0, sim_time=10.0, gauges={"depth": 1.0})
+        tie_b = make_snapshot(1, sim_time=10.0, gauges={"depth": 2.0})
+        merged = merge_snapshots([tie_b, tie_a])
+        assert merged.registry.gauge_value("depth") == 2.0
+
+    def test_histograms_merge_bucket_wise(self):
+        merged = merge_snapshots([
+            make_snapshot(0, values=(0.5, 1.5)),
+            make_snapshot(1, values=(3.0,)),
+        ])
+        histogram = merged.registry.histogram_or_none("lat")
+        assert histogram.count == 3
+        assert histogram.total == 5.0
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 3.0
+        assert histogram.bucket_counts() == (1, 1, 1)
+
+    def test_spans_interleave_on_start_shard_seq(self):
+        merged = merge_snapshots([make_snapshot(1), make_snapshot(0)])
+        keys = [
+            (span.start, shard_of(span.span_id)) for span in merged.spans
+        ]
+        assert keys == sorted(keys)
+        assert merged.span_count == 4
+
+    def test_merge_is_order_free(self):
+        parts = [
+            make_snapshot(0, sim_time=5.0, counters={"ops": 1.0},
+                          gauges={"g": 1.0}, values=(0.5,)),
+            make_snapshot(1, sim_time=9.0, counters={"ops": 2.0},
+                          gauges={"g": 2.0}, values=(1.5,)),
+            make_snapshot(2, sim_time=7.0, counters={"ops": 4.0},
+                          values=(3.0,)),
+        ]
+        forward = merge_snapshots(parts)
+        backward = merge_snapshots(list(reversed(parts)))
+        assert forward.registry.snapshot() == backward.registry.snapshot()
+        assert forward.spans == backward.spans
+        assert forward.sim_time == backward.sim_time == 9.0
+        assert forward.event_count == backward.event_count
+
+    def test_totals_aggregate(self):
+        merged = merge_snapshots([
+            make_snapshot(0, sim_time=5.0), make_snapshot(1, sim_time=8.0),
+        ])
+        assert merged.sim_time == 8.0
+        assert merged.event_count == 13
+        assert merged.shard_ids == [0, 1]
+
+
+class TestMergeErrors:
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            merge_snapshots([])
+
+    def test_duplicate_shard_ids_rejected(self):
+        with pytest.raises(ValueError, match="duplicate shard ids"):
+            merge_snapshots([make_snapshot(1), make_snapshot(1)])
+
+    def test_bucket_ladder_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="bucket"):
+            merge_snapshots([
+                make_snapshot(0, values=(0.5,), buckets=(1.0, 2.0)),
+                make_snapshot(1, values=(0.5,), buckets=(1.0, 4.0)),
+            ])
+
+
+class TestSnapshotRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        snapshot = make_snapshot(2, counters={"ops": 3.0}, gauges={"g": 1.5},
+                                 values=(0.5, 3.0))
+        path = tmp_path / "shard-2" / "shard.json"
+        write_shard_snapshot(snapshot, path)
+        assert load_shard_snapshot(path) == snapshot
+
+    def test_snapshot_carries_trace_id_and_drops(self):
+        snapshot = make_snapshot(1)
+        assert snapshot.trace_id == "t"
+        assert snapshot.dropped_spans == 0
+
+
+class TestMergedArtifacts:
+    def make_parts(self):
+        return [
+            make_snapshot(0, sim_time=5.0, counters={"ops": 1.0}, values=(0.5,)),
+            make_snapshot(1, sim_time=9.0, counters={"ops": 2.0}, values=(1.5,)),
+        ]
+
+    def test_merged_manifest_has_per_shard_sections(self):
+        parts = self.make_parts()
+        manifest = merged_manifest(parts, seed=11, config_digest="cfg",
+                                   scenario="unit")
+        assert sorted(manifest.shards) == ["0", "1"]
+        assert manifest.shards["1"]["sim_time"] == 9.0
+        assert manifest.shards["0"]["span_count"] == 2
+        assert manifest.event_count == 14
+        assert manifest.metrics["counters"]["ops"] == 3.0
+
+    def test_merged_export_is_byte_stable(self, tmp_path):
+        for name in ("a", "b"):
+            parts = self.make_parts()
+            merged = merge_snapshots(parts)
+            manifest = merged_manifest(parts, seed=11, config_digest="cfg",
+                                       merged=merged)
+            export_merged_run(tmp_path / name, merged, manifest)
+        for artifact in ("manifest.json", "merged_spans.jsonl",
+                         "merged_metrics.jsonl"):
+            left = (tmp_path / "a" / artifact).read_bytes()
+            right = (tmp_path / "b" / artifact).read_bytes()
+            assert left == right, artifact
+
+    def test_merged_spans_jsonl_preserves_interleaving(self, tmp_path):
+        merged = merge_snapshots(self.make_parts())
+        path = tmp_path / "merged_spans.jsonl"
+        assert write_merged_spans_jsonl(merged.spans, path) == 4
+        import json
+
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        keys = [(row["start"], shard_of(row["span_id"])) for row in rows]
+        assert keys == sorted(keys)
+
+
+class TestHistogramState:
+    def test_state_round_trip(self):
+        histogram = Histogram("lat", buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 9.0):
+            histogram.observe(value)
+        clone = Histogram.from_state("lat", histogram.state_dict())
+        assert clone.bucket_counts() == histogram.bucket_counts()
+        assert clone.count == histogram.count
+        assert clone.total == histogram.total
+        assert clone.minimum == histogram.minimum
+        assert clone.maximum == histogram.maximum
+
+    def test_empty_state_round_trip(self):
+        clone = Histogram.from_state("lat", Histogram("lat").state_dict())
+        assert clone.count == 0
+        assert clone.quantile(0.99) == 0.0
+
+    def test_merge_from_rejects_mismatched_ladder(self):
+        left = Histogram("lat", buckets=(1.0, 2.0))
+        right = Histogram("lat", buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            left.merge_from(right)
+
+    def test_merged_quantiles_match_union_of_observations(self):
+        union = Histogram("lat")
+        left, right = Histogram("lat"), Histogram("lat")
+        for value in (0.01, 0.2, 0.4):
+            union.observe(value)
+            left.observe(value)
+        for value in (3.0, 30.0):
+            union.observe(value)
+            right.observe(value)
+        left.merge_from(right)
+        for q in (0.5, 0.9, 0.99):
+            assert left.quantile(q) == union.quantile(q)

@@ -1,0 +1,125 @@
+"""Tests for cross-process trace propagation (TraceContext + tracer attach)."""
+
+import pytest
+
+from repro.obs import (
+    SHARD_SPAN_STRIDE,
+    SpanTracer,
+    TraceContext,
+    derive_trace_id,
+    seq_of,
+    shard_of,
+)
+
+
+class TestSpanIdNamespaces:
+    def test_shard_and_seq_recoverable_from_id(self):
+        span_id = 3 * SHARD_SPAN_STRIDE + 17
+        assert shard_of(span_id) == 3
+        assert seq_of(span_id) == 17
+
+    def test_shard_zero_ids_are_plain_sequence_numbers(self):
+        assert shard_of(5) == 0
+        assert seq_of(5) == 5
+
+    def test_tracers_in_different_shards_never_collide(self):
+        ids = set()
+        for shard_id in (0, 1, 2):
+            tracer = SpanTracer(shard_id=shard_id)
+            for __ in range(5):
+                with tracer.span("op"):
+                    pass
+            ids.update(span.span_id for span in tracer.spans())
+        assert len(ids) == 15
+
+
+class TestDeriveTraceId:
+    def test_deterministic_in_seed_and_scope(self):
+        assert derive_trace_id(11) == derive_trace_id(11)
+        assert derive_trace_id(11) != derive_trace_id(12)
+        assert derive_trace_id(11, scope="a") != derive_trace_id(11, scope="b")
+
+    def test_short_hex(self):
+        trace_id = derive_trace_id(7)
+        assert len(trace_id) == 16
+        int(trace_id, 16)  # valid hex
+
+
+class TestTraceContext:
+    def test_round_trip_through_json(self):
+        context = TraceContext(trace_id="abc", shard_id=2, parent_span_id=5)
+        assert TraceContext.from_json(context.to_json()) == context
+
+    def test_rejects_negative_shard(self):
+        with pytest.raises(ValueError):
+            TraceContext(trace_id="abc", shard_id=-1)
+
+    def test_context_for_carries_active_span_as_parent(self):
+        tracer = SpanTracer(trace_id=derive_trace_id(11))
+        with tracer.span("dispatch") as span:
+            context = tracer.context_for(4)
+        assert context.shard_id == 4
+        assert context.trace_id == tracer.trace_id
+        assert context.parent_span_id == span.span_id
+
+
+class TestAttachDetach:
+    def make_context(self, shard_id=1):
+        coordinator = SpanTracer(trace_id=derive_trace_id(11))
+        with coordinator.span("coordinate"):
+            return coordinator.context_for(shard_id)
+
+    def test_attached_tracer_continues_the_trace(self):
+        context = self.make_context(shard_id=2)
+        worker = SpanTracer()
+        worker.attach(context)
+        with worker.span("work"):
+            pass
+        assert worker.shard_id == 2
+        assert worker.trace_id == context.trace_id
+        (span,) = worker.spans()
+        assert shard_of(span.span_id) == 2
+        assert span.parent_id == context.parent_span_id
+
+    def test_detach_returns_the_context(self):
+        context = self.make_context()
+        worker = SpanTracer()
+        worker.attach(context)
+        with worker.span("work"):
+            pass
+        assert worker.detach() == context
+        assert worker.current_id is None
+
+    def test_attach_twice_rejected(self):
+        worker = SpanTracer()
+        worker.attach(self.make_context())
+        with pytest.raises(ValueError):
+            worker.attach(self.make_context())
+
+    def test_attach_requires_a_fresh_tracer(self):
+        worker = SpanTracer()
+        with worker.span("early"):
+            pass
+        with pytest.raises(ValueError):
+            worker.attach(self.make_context())
+
+    def test_detach_without_attach_rejected(self):
+        with pytest.raises(ValueError):
+            SpanTracer().detach()
+
+    def test_detach_with_open_span_rejected(self):
+        worker = SpanTracer()
+        worker.attach(self.make_context())
+        with worker.span("open"):
+            with pytest.raises(ValueError):
+                worker.detach()
+
+    def test_rootless_context_attaches_without_parent(self):
+        context = TraceContext(trace_id="abc", shard_id=3)
+        worker = SpanTracer()
+        worker.attach(context)
+        with worker.span("work"):
+            pass
+        (span,) = worker.spans()
+        assert span.parent_id is None
+        assert worker.detach() == context

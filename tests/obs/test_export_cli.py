@@ -134,3 +134,120 @@ class TestCli:
         out = capsys.readouterr().out
         assert "drifted field(s)" in out
         assert "seed" in out
+
+
+class TestCliExitCodes:
+    """Usage errors and bad artifact files exit 2, never a traceback."""
+
+    def test_unknown_subcommand_exits_two(self, capsys):
+        assert main(["frobnicate"]) == 2
+        capsys.readouterr()
+
+    def test_no_arguments_exits_two(self, capsys):
+        assert main([]) == 2
+        capsys.readouterr()
+
+    def test_missing_file_exits_two_with_stderr_message(self, capsys):
+        assert main(["summary", "/nonexistent/manifest.json"]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_invalid_json_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "manifest.json"
+        bad.write_text("{not json")
+        assert main(["summary", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_wrong_schema_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "manifest.json"
+        bad.write_text('{"unexpected": true}')
+        assert main(["summary", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_malformed_folded_file_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "profile.folded"
+        bad.write_text("stack notanumber\n")
+        assert main(["flame", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliShardAndProfileCommands:
+    def make_merged_manifest(self, tmp_path):
+        from repro.obs import (
+            MetricsRegistry as Registry,
+            TraceContext,
+            merge_snapshots,
+            merged_manifest,
+            snapshot_shard,
+        )
+        from repro.obs.export import write_manifest
+
+        snapshots = []
+        for shard_id in (0, 1):
+            registry = Registry()
+            registry.counter("ops").inc(5 + shard_id)
+            tracer = SpanTracer()
+            tracer.attach(TraceContext(trace_id="t", shard_id=shard_id))
+            with tracer.span("shard"):
+                pass
+            snapshots.append(
+                snapshot_shard(shard_id, registry, tracer=tracer,
+                               sim_time=10.0 + shard_id, event_count=4)
+            )
+        manifest = merged_manifest(
+            snapshots, seed=11, config_digest="cfg",
+            merged=merge_snapshots(snapshots),
+        )
+        path = tmp_path / "manifest.json"
+        write_manifest(manifest, path)
+        return path
+
+    def test_summary_by_shard_lists_sections(self, tmp_path, capsys):
+        path = self.make_merged_manifest(tmp_path)
+        assert main(["summary", str(path), "--by-shard"]) == 0
+        out = capsys.readouterr().out
+        assert "shards (2):" in out
+        assert "shard 0:" in out
+        assert "shard 1: sim_time=11" in out
+
+    def test_summary_by_shard_on_single_process_manifest(self, tmp_path, capsys):
+        registry, tracer = make_registry(), make_tracer()
+        written = export_run(
+            tmp_path / "run", make_manifest(registry, tracer),
+            registry=registry, tracer=tracer,
+        )
+        assert main(["summary", written["manifest"], "--by-shard"]) == 0
+        assert "single-process run" in capsys.readouterr().out
+
+    def test_flame_renders_ranked_table(self, tmp_path, capsys):
+        folded = tmp_path / "profile.folded"
+        folded.write_text("root 100\nroot;child 900\n")
+        assert main(["flame", str(folded), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert "stack" in lines[0]
+        assert "root;child" in lines[1]  # biggest first
+        assert "90.0%" in lines[1]
+
+    def test_slo_renders_report(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry as Registry
+        from repro.obs import SLOMonitor, SLOSpec, write_slo_report
+
+        registry = Registry()
+        registry.counter("ops").inc(100)
+        registry.counter("errors").inc(50)
+        monitor = SLOMonitor(registry, [SLOSpec(
+            name="success", kind="error_budget", objective=0.9,
+            bad="errors", total="ops",
+        )])
+        monitor.sample(5.0)
+        path = tmp_path / "slo.json"
+        write_slo_report(monitor.evaluate(), path)
+
+        assert main(["slo", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "critical" in out
+        # Observe-only by default; --strict turns a breach into exit 1.
+        assert main(["slo", str(path), "--strict"]) == 1
+        assert "critical burn" in capsys.readouterr().err

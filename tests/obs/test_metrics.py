@@ -83,6 +83,28 @@ class TestHistogram:
     def test_quantile_validates_range(self):
         with pytest.raises(ValueError):
             Histogram("t").quantile(1.5)
+        with pytest.raises(ValueError):
+            Histogram("t").quantile(-0.1)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        histogram = Histogram("t")
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 0.0
+
+    def test_single_sample_quantile_is_the_sample(self):
+        histogram = Histogram("t")
+        histogram.observe(3.7)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 3.7
+
+    def test_all_samples_in_overflow_bucket_stay_in_observed_range(self):
+        histogram = Histogram("t", buckets=(1.0, 2.0))
+        for value in (50.0, 70.0, 90.0):
+            histogram.observe(value)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert 50.0 <= histogram.quantile(q) <= 90.0
+        assert histogram.quantile(0.0) == 50.0
+        assert histogram.quantile(1.0) == 90.0
 
     def test_empty_histogram_summary(self):
         summary = Histogram("t").summary()

@@ -1,0 +1,120 @@
+"""Tests for the sim-time profiler and its kernel dispatch hook."""
+
+import json
+
+import pytest
+
+from repro.obs import SimProfiler, SpanTracer, parse_folded, render_hotspots
+from repro.obs.profile import DROPPED, SIM_TIME_TICKS, UNATTRIBUTED, write_profile
+from repro.sim.kernel import Simulator
+
+
+def run_profiled(seed=3):
+    """A tiny traced + profiled kernel run with a two-level span stack."""
+    tracer = SpanTracer()
+    profiler = SimProfiler()
+    sim = Simulator(seed=seed, tracer=tracer, profiler=profiler)
+
+    def leaf():
+        pass
+
+    def branch():
+        with tracer.span("branch"):
+            sim.schedule(1.0, leaf, tag="leaf")
+
+    with tracer.span("root"):
+        sim.schedule(2.0, branch, tag="branch")
+        sim.schedule(5.0, leaf, tag="tail")
+    sim.run()
+    return tracer, profiler
+
+
+class TestKernelHook:
+    def test_sim_time_attributes_to_scheduling_stack(self):
+        tracer, profiler = run_profiled()
+        stacks = dict(parse_folded(profiler.folded_text(tracer.spans())))
+        # branch (t=2) and tail (t=5) were scheduled under "root"; the
+        # leaf (t=3) was scheduled under "root;branch".  Each event gets
+        # the delta since the previous one: 2.0 + 2.0 for root, 1.0 for
+        # the branch leaf.
+        assert stacks["root"] == round(4.0 * SIM_TIME_TICKS)
+        assert stacks["root;branch"] == round(1.0 * SIM_TIME_TICKS)
+        assert profiler.event_count == 3
+        assert profiler.total_sim_time == pytest.approx(5.0)
+
+    def test_event_weighted_folded(self):
+        tracer, profiler = run_profiled()
+        stacks = dict(
+            parse_folded(profiler.folded_text(tracer.spans(), weight="events"))
+        )
+        assert stacks == {"root": 2, "root;branch": 1}
+
+    def test_unattributed_events_land_in_their_own_bucket(self):
+        profiler = SimProfiler()
+        sim = Simulator(seed=1, profiler=profiler)  # no tracer at all
+        sim.schedule(4.0, lambda: None)
+        sim.run()
+        assert dict(parse_folded(profiler.folded_text([]))) == {
+            UNATTRIBUTED: round(4.0 * SIM_TIME_TICKS)
+        }
+
+    def test_missing_span_maps_to_dropped(self):
+        profiler = SimProfiler()
+        profiler.record(999, 2.0)
+        stacks = dict(parse_folded(profiler.folded_text([])))
+        assert stacks == {DROPPED: round(2.0 * SIM_TIME_TICKS)}
+
+    def test_disabled_profiler_records_nothing(self):
+        profiler = SimProfiler(enabled=False)
+        profiler.record(None, 5.0)
+        assert profiler.event_count == 0
+        assert profiler.folded_text([]) == ""
+
+
+class TestDeterminism:
+    def test_same_seed_folded_output_is_identical(self):
+        first_tracer, first = run_profiled(seed=9)
+        second_tracer, second = run_profiled(seed=9)
+        assert first.folded_text(first_tracer.spans()) == second.folded_text(
+            second_tracer.spans()
+        )
+
+
+class TestReporting:
+    def test_hotspots_rank_by_sim_time(self):
+        tracer, profiler = run_profiled()
+        spots = profiler.hotspots(tracer.spans(), top=10)
+        assert [spot.stack for spot in spots] == ["root", "root;branch"]
+        assert spots[0].sim_time == pytest.approx(4.0)
+        assert spots[0].events == 2
+
+    def test_render_hotspots_table(self):
+        tracer, profiler = run_profiled()
+        text = render_hotspots(
+            profiler.hotspots(tracer.spans()), profiler.total_sim_time
+        )
+        assert "stack" in text.splitlines()[0]
+        assert "root;branch" in text
+        assert render_hotspots([], 0.0) == "(no profile samples)"
+
+    def test_folded_rejects_unknown_weight(self):
+        with pytest.raises(ValueError):
+            SimProfiler().folded([], weight="wall_clock")
+
+    def test_parse_folded_round_trip_and_errors(self):
+        lines = "a;b 3\n\nc 4\n"
+        assert parse_folded(lines) == [("a;b", 3), ("c", 4)]
+        with pytest.raises(ValueError):
+            parse_folded("justonetoken\n")
+        with pytest.raises(ValueError):
+            parse_folded("stack notanumber\n")
+
+    def test_write_profile_artifacts(self, tmp_path):
+        tracer, profiler = run_profiled()
+        written = write_profile(tmp_path, profiler, tracer.spans(), top=5)
+        assert sorted(written) == ["folded", "profile"]
+        folded = (tmp_path / "profile.folded").read_text()
+        assert parse_folded(folded)  # parseable, non-empty
+        payload = json.loads((tmp_path / "profile.json").read_text())
+        assert payload["total_events"] == 3
+        assert payload["hotspots"][0]["stack"] == "root"

@@ -1,0 +1,263 @@
+"""Tests for declarative SLOs and rolling burn-rate evaluation."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    SLOMonitor,
+    SLOReport,
+    SLOSpec,
+    load_slo_report,
+    write_slo_report,
+)
+
+
+def error_budget_spec(window=50.0, objective=0.9):
+    return SLOSpec(
+        name="success", kind="error_budget", objective=objective,
+        window=window, bad="errors", total="ops",
+    )
+
+
+def availability_spec(window=50.0, objective=0.9):
+    return SLOSpec(
+        name="avail", kind="availability", objective=objective,
+        window=window, good="ok", total="ops",
+    )
+
+
+def latency_spec(window=50.0, objective=0.9, threshold=1.0):
+    return SLOSpec(
+        name="lat", kind="latency_quantile", objective=objective,
+        window=window, metric="lat", threshold=threshold,
+    )
+
+
+class TestSpecValidation:
+    def test_kind_must_be_known(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="throughput", objective=0.9)
+
+    def test_objective_must_be_open_interval(self):
+        for objective in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                error_budget_spec(objective=objective)
+
+    def test_window_must_be_positive(self):
+        with pytest.raises(ValueError):
+            error_budget_spec(window=0.0)
+
+    def test_kind_specific_fields_required(self):
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="latency_quantile", objective=0.9)
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="availability", objective=0.9, good="ok")
+        with pytest.raises(ValueError):
+            SLOSpec(name="x", kind="error_budget", objective=0.9, bad="errors")
+
+    def test_budget_is_one_minus_objective(self):
+        assert error_budget_spec(objective=0.99).budget == pytest.approx(0.01)
+
+    def test_spec_round_trip(self):
+        spec = latency_spec()
+        assert SLOSpec.from_dict(spec.to_dict()) == spec
+
+    def test_duplicate_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            SLOMonitor(registry, [error_budget_spec(), error_budget_spec()])
+
+
+class TestErrorBudgetBurn:
+    def test_burn_rate_is_error_fraction_over_budget(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor(registry, [error_budget_spec(objective=0.9)])
+        registry.counter("ops").inc(100)
+        registry.counter("errors").inc(5)
+        monitor.sample(10.0)
+        (status,) = monitor.evaluate().statuses
+        assert status.sli == pytest.approx(0.95)
+        assert status.burn_rate == pytest.approx(0.5)
+        assert status.events == 100
+        assert status.status == "ok"
+
+    def test_status_ladder(self):
+        for errors, expected in ((5, "ok"), (10, "warn"), (25, "critical")):
+            registry = MetricsRegistry()
+            monitor = SLOMonitor(registry, [error_budget_spec(objective=0.9)])
+            registry.counter("ops").inc(100)
+            registry.counter("errors").inc(errors)
+            monitor.sample(1.0)
+            (status,) = monitor.evaluate().statuses
+            assert status.status == expected, errors
+
+    def test_no_samples_reports_clean(self):
+        monitor = SLOMonitor(MetricsRegistry(), [error_budget_spec()])
+        (status,) = monitor.evaluate().statuses
+        assert status.status == "ok"
+        assert status.events == 0
+        assert status.burn_rate == 0.0
+
+
+class TestRollingWindow:
+    def test_old_errors_age_out_of_the_window(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor(registry, [error_budget_spec(window=50.0)])
+        # Early burst of errors, sampled at t=10.
+        registry.counter("ops").inc(50)
+        registry.counter("errors").inc(25)
+        monitor.sample(10.0)
+        (early,) = monitor.evaluate().statuses
+        assert early.status == "critical"
+        # A long clean stretch; by t=100 the window [50, 100] starts
+        # after the burst's sample, so the errors no longer count.
+        registry.counter("ops").inc(50)
+        monitor.sample(100.0)
+        (late,) = monitor.evaluate().statuses
+        assert late.events == 50
+        assert late.burn_rate == 0.0
+        assert late.status == "ok"
+
+    def test_window_shorter_than_history_uses_expanding_window(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor(registry, [error_budget_spec(window=1000.0)])
+        registry.counter("ops").inc(10)
+        registry.counter("errors").inc(1)
+        monitor.sample(5.0)
+        (status,) = monitor.evaluate().statuses
+        # Window predates all history: everything counts from zero state.
+        assert status.events == 10
+        assert status.sli == pytest.approx(0.9)
+
+    def test_same_time_resample_replaces(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor(registry, [error_budget_spec()])
+        registry.counter("ops").inc(10)
+        monitor.sample(5.0)
+        registry.counter("ops").inc(10)
+        monitor.sample(5.0)
+        assert monitor.sample_count == 1
+        (status,) = monitor.evaluate().statuses
+        assert status.events == 20
+
+    def test_sample_ring_is_capped(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor(registry, [error_budget_spec()], max_samples=4)
+        for tick in range(10):
+            monitor.sample(float(tick))
+        assert monitor.sample_count == 4
+
+
+class TestAvailability:
+    def test_availability_counts_missing_good_as_errors(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor(registry, [availability_spec(objective=0.9)])
+        registry.counter("ops").inc(20)
+        registry.counter("ok").inc(18)
+        monitor.sample(1.0)
+        (status,) = monitor.evaluate().statuses
+        assert status.sli == pytest.approx(0.9)
+        assert status.burn_rate == pytest.approx(1.0)
+        assert status.status == "warn"
+
+
+class TestLatencyQuantile:
+    def test_bucket_deltas_above_threshold_burn_budget(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor(registry, [latency_spec(threshold=1.0)])
+        histogram = registry.histogram("lat", buckets=(0.5, 1.0, 2.0))
+        for value in (0.1, 0.7, 0.9, 1.5):  # one observation above 1.0
+            histogram.observe(value)
+        monitor.sample(1.0)
+        (status,) = monitor.evaluate().statuses
+        assert status.events == 4
+        assert status.sli == pytest.approx(0.75)
+        assert status.burn_rate == pytest.approx(2.5)
+        assert status.status == "critical"
+
+    def test_windowed_deltas_only(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor(registry, [latency_spec(window=50.0, threshold=1.0)])
+        histogram = registry.histogram("lat", buckets=(0.5, 1.0, 2.0))
+        for __ in range(10):
+            histogram.observe(5.0)  # all slow, before the window
+        monitor.sample(10.0)
+        for __ in range(10):
+            histogram.observe(0.1)  # all fast, inside the window
+        monitor.sample(100.0)
+        (status,) = monitor.evaluate().statuses
+        assert status.events == 10
+        assert status.burn_rate == 0.0
+
+    def test_unobserved_metric_reports_clean(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor(registry, [latency_spec()])
+        monitor.sample(1.0)
+        (status,) = monitor.evaluate().statuses
+        assert status.events == 0
+        assert status.status == "ok"
+
+
+class TestReport:
+    def make_report(self):
+        registry = MetricsRegistry()
+        monitor = SLOMonitor(
+            registry, [error_budget_spec(), availability_spec()]
+        )
+        registry.counter("ops").inc(100)
+        registry.counter("errors").inc(30)
+        registry.counter("ok").inc(95)
+        monitor.sample(7.0)
+        return monitor.evaluate()
+
+    def test_breached_and_worst_burn(self):
+        report = self.make_report()
+        assert report.breached  # error budget at 3x
+        assert report.worst_burn_rate == pytest.approx(3.0)
+        assert report.evaluated_at == 7.0
+
+    def test_render_is_tabular(self):
+        text = self.make_report().render()
+        assert "success" in text and "critical" in text
+        assert SLOReport(evaluated_at=0.0).render() == "(no SLOs configured)"
+
+    def test_file_round_trip(self, tmp_path):
+        report = self.make_report()
+        path = tmp_path / "slo.json"
+        write_slo_report(report, path)
+        assert load_slo_report(path) == report
+
+
+class TestQosWiring:
+    def make_monitor(self):
+        from repro.qos.monitor import ContractMonitor, default_qos_slos
+
+        registry = MetricsRegistry()
+        slos = SLOMonitor(registry, default_qos_slos(window=100.0))
+        clock = {"now": 0.0}
+        monitor = ContractMonitor(metrics=registry)
+        monitor.attach_slos(slos, now_fn=lambda: clock["now"])
+        return registry, monitor, clock
+
+    def test_settlements_sample_and_report(self):
+        from repro.qos.sla import SLAContract
+        from repro.qos.vector import QoSRequirement, QoSVector
+
+        registry, monitor, clock = self.make_monitor()
+        contract = SLAContract(
+            provider_id="p", consumer_id="u",
+            requirement=QoSRequirement(min_completeness=0.8),
+            base_price=1.0,
+        )
+        clock["now"] = 3.0
+        monitor.settle(contract, QoSVector(completeness=0.9))
+        report = monitor.slo_report()
+        assert report is not None
+        assert report.evaluated_at == 3.0
+        by_name = {status.name: status for status in report.statuses}
+        assert by_name["qos-contract-success"].events == 1
+
+    def test_unattached_monitor_reports_none(self):
+        from repro.qos.monitor import ContractMonitor
+
+        assert ContractMonitor().slo_report() is None
