@@ -284,3 +284,27 @@ def test_micro_event_kernel(benchmark):
         return counter["n"]
 
     assert benchmark(run) == 5000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_micro_event_kernel_flight(benchmark):
+    """The dispatch loop with the flight recorder streaming per-event."""
+    from repro.obs.flight import FlightRecorder
+
+    def run():
+        flight = FlightRecorder()
+        sim = Simulator(seed=1, flight=flight)
+        counter = {"n": 0}
+
+        def tick():
+            counter["n"] += 1
+            if counter["n"] < 5000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return counter["n"], flight.record_count
+
+    events, recorded = benchmark(run)
+    assert events == 5000
+    assert recorded == 5000

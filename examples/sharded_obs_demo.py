@@ -14,6 +14,8 @@ The coordinator then merges every shard deterministically and writes:
     runs/<name>/profile.json          hotspot table
     runs/<name>/slo.json              burn-rate report over merged metrics
     runs/<name>/shard-<k>/shard.json  each worker's snapshot
+    runs/<name>/flight/               coordinator flight recording
+    runs/<name>/shard-<k>/flight/     each worker's flight recording
 
 Two invocations with the same ``--seed`` produce byte-identical merged
 artifacts — attest it with::
@@ -22,6 +24,11 @@ artifacts — attest it with::
     python examples/sharded_obs_demo.py --seed 11 --out runs/b
     cmp runs/a/merged_spans.jsonl runs/b/merged_spans.jsonl
     python -m repro.obs diff runs/a/manifest.json runs/b/manifest.json
+
+Every process also records a per-shard flight log, so a drifted shard
+can be pinned to its first divergent event::
+
+    python -m repro.obs divergence runs/a runs/b
 """
 
 import argparse
@@ -30,6 +37,7 @@ from pathlib import Path
 from typing import Any, Dict, Generator, List
 
 from repro.obs import (
+    FlightRecorder,
     SLOMonitor,
     SLOSpec,
     SimProfiler,
@@ -124,10 +132,14 @@ def run_worker(
     context = TraceContext.from_dict(context_payload)
     tracer = SpanTracer()
     tracer.attach(context)
-    sim = Simulator(seed=seed * 1000 + context.shard_id, tracer=tracer)
+    flight = FlightRecorder(shard_id=context.shard_id)
+    sim = Simulator(
+        seed=seed * 1000 + context.shard_id, tracer=tracer, flight=flight
+    )
     with tracer.span("shard", shard=context.shard_id):
         sim.process(_work_process(sim, ops), tag="shard-work")
         sim.run()
+    flight.finalize(Path(out_dir) / f"shard-{context.shard_id}" / "flight")
     snapshot = snapshot_shard(
         context.shard_id,
         sim.metrics,
@@ -147,7 +159,8 @@ def coordinate(seed: int, shards: int, ops: int, out: str) -> Dict[str, str]:
     trace_id = derive_trace_id(seed, scope="sharded-demo")
     tracer = SpanTracer(shard_id=0, trace_id=trace_id)
     profiler = SimProfiler()
-    sim = Simulator(seed=seed, tracer=tracer, profiler=profiler)
+    flight = FlightRecorder(shard_id=0)
+    sim = Simulator(seed=seed, tracer=tracer, profiler=profiler, flight=flight)
 
     contexts: Dict[int, TraceContext] = {}
     with tracer.span("coordinate", shards=shards):
@@ -195,6 +208,7 @@ def coordinate(seed: int, shards: int, ops: int, out: str) -> Dict[str, str]:
     )
     written = export_merged_run(out_dir, merged, manifest)
     written.update(write_profile(out_dir, profiler, tracer.spans()))
+    written.update(flight.finalize(out_dir / "flight"))
 
     slos = SLOMonitor(merged.registry, demo_slos())
     slos.sample(merged.sim_time)

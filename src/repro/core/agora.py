@@ -31,6 +31,7 @@ from repro.net.topology import (
     star_topology,
 )
 from repro.obs.context import derive_trace_id
+from repro.obs.flight import FlightRecorder
 from repro.obs.manifest import RunManifest, config_digest
 from repro.obs.profile import SimProfiler
 from repro.obs.slo import SLOMonitor, SLOReport
@@ -67,8 +68,14 @@ class Agora:
         self.profiler: Optional[SimProfiler] = (
             SimProfiler() if config.enable_profiling else None
         )
+        self.flight: Optional[FlightRecorder] = (
+            FlightRecorder() if config.enable_flight_recorder else None
+        )
         self.sim = Simulator(
-            seed=config.seed, tracer=self.tracer, profiler=self.profiler
+            seed=config.seed,
+            tracer=self.tracer,
+            profiler=self.profiler,
+            flight=self.flight,
         )
         streams = self.sim.rng.spawn("agora")
         self._streams = streams
@@ -306,6 +313,9 @@ class Agora:
             event_count=self.sim.processed,
             span_count=self.tracer.span_count if self.tracer is not None else 0,
             metrics=self.sim.metrics.snapshot(),
+            flight=(
+                self.flight.manifest_section() if self.flight is not None else {}
+            ),
             labels=dict(labels),
         )
 

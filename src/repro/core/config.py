@@ -49,6 +49,11 @@ class AgoraConfig:
     #: sample and evaluate the stock observe-only QoS SLOs
     #: (:func:`repro.qos.monitor.default_qos_slos`) at each settlement
     enable_slos: bool = False
+    #: hook a flight recorder into kernel dispatch: one byte-stable log
+    #: record per event (seq, time, kind, callback, span, RNG draws)
+    #: with periodic digest checkpoints, so two runs can be aligned by
+    #: ``python -m repro.obs divergence`` down to the first forked event
+    enable_flight_recorder: bool = False
     #: default consumer-side resilience policies (off unless enabled);
     #: individual consumers may override with their own config
     resilience: ResilienceConfig = field(default_factory=ResilienceConfig)

@@ -15,6 +15,11 @@ executor, experiments — can record into one shared vocabulary:
   the order-free deterministic merge of N shards' telemetry.
 - :class:`SimProfiler` (``obs.profile``) — sim-time profiler over
   kernel event dispatch: folded-stack flamegraph output + hotspots.
+- :class:`FlightRecorder` (``obs.flight``) — streaming byte-stable
+  per-event log with rolling digests and per-stream RNG draw counters.
+- :func:`align_runs` / :func:`find_divergence` (``obs.divergence``) —
+  the first-divergence debugger: binary-search checkpoint digests to
+  name the exact event where two recordings fork.
 - :class:`SLOSpec` / :class:`SLOMonitor` (``obs.slo``) — declarative
   SLOs evaluated as rolling burn-rate windows, observe-only.
 - :class:`RunManifest` / :func:`diff_manifests` — canonical run
@@ -22,7 +27,7 @@ executor, experiments — can record into one shared vocabulary:
   identical iff their diff is clean.
 - JSONL exporters, a markdown dashboard renderer, and the
   ``python -m repro.obs`` CLI (``summary [--by-shard]`` / ``spans`` /
-  ``diff`` / ``flame`` / ``slo``).
+  ``diff`` / ``flame`` / ``slo`` / ``divergence``).
 """
 
 from repro.obs.aggregate import (
@@ -44,6 +49,18 @@ from repro.obs.context import (
     shard_of,
 )
 from repro.obs.dashboard import append_dashboard, render_dashboard, span_cost_rows
+from repro.obs.divergence import (
+    DivergenceReport,
+    FlightRecording,
+    RunAlignment,
+    StreamDelta,
+    align_runs,
+    discover_recordings,
+    find_divergence,
+    load_recording,
+    render_alignment,
+    render_report,
+)
 from repro.obs.export import (
     export_run,
     load_manifest,
@@ -53,6 +70,7 @@ from repro.obs.export import (
     write_metrics_jsonl,
     write_spans_jsonl,
 )
+from repro.obs.flight import FlightRecorder, callback_identity
 from repro.obs.manifest import (
     Drift,
     ManifestDiff,
@@ -101,13 +119,17 @@ __all__ = [
     "NULL_TRACER",
     "SHARD_SPAN_STRIDE",
     "Counter",
+    "DivergenceReport",
     "Drift",
+    "FlightRecorder",
+    "FlightRecording",
     "Gauge",
     "Histogram",
     "HotSpot",
     "ManifestDiff",
     "MergedRun",
     "MetricsRegistry",
+    "RunAlignment",
     "RunManifest",
     "SLOMonitor",
     "SLOReport",
@@ -117,28 +139,36 @@ __all__ = [
     "SimProfiler",
     "Span",
     "SpanTracer",
+    "StreamDelta",
     "TraceContext",
+    "align_runs",
     "ancestors",
     "append_dashboard",
+    "callback_identity",
     "canonical_json",
     "child_map",
     "config_digest",
     "derive_trace_id",
     "descendants_of",
     "diff_manifests",
+    "discover_recordings",
     "export_merged_run",
     "export_run",
+    "find_divergence",
     "flatten_manifest",
     "load_manifest",
     "load_metrics_jsonl",
+    "load_recording",
     "load_shard_snapshot",
     "load_slo_report",
     "load_spans_jsonl",
     "merge_snapshots",
     "merged_manifest",
     "parse_folded",
+    "render_alignment",
     "render_dashboard",
     "render_hotspots",
+    "render_report",
     "seq_of",
     "shard_of",
     "snapshot_shard",

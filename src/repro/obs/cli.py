@@ -15,10 +15,19 @@ Subcommands
 ``slo <slo.json> [--strict]``
     Render an exported SLO burn-rate report; with ``--strict``, exit 1
     when any SLO is critical (the default stays observe-only).
+``divergence <left> <right> [--context K] [--json]``
+    Align two flight recordings (or two run directories holding one
+    recording per shard) and name the first event at which they stop
+    being bitwise-identical; exit 0 identical, 1 diverged.
 
-Exit codes: 0 success (and clean diff / non-breached strict slo),
-1 drift or strict-mode breach, 2 usage errors and unreadable/invalid
-artifact files (reported on stderr, never as a traceback).
+Exit codes: 0 success (and clean diff / non-breached strict slo /
+identical recordings), 1 drift, strict-mode breach or divergence,
+2 usage errors and unreadable/invalid artifact files (reported on
+stderr, never as a traceback).
+
+Every subcommand loads its artifacts through one shared
+:func:`_load_artifact` path, so a missing, unreadable or malformed file
+produces the same ``error: …`` + exit 2 behavior everywhere.
 
 The CLI works on *files only* — recording happens wherever a run happens
 (see ``examples/observability_demo.py``), keeping ``repro.obs`` at the
@@ -31,13 +40,32 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.obs.divergence import align_runs, render_alignment
 from repro.obs.export import load_manifest, load_spans_jsonl
-from repro.obs.manifest import RunManifest, diff_manifests
+from repro.obs.manifest import RunManifest, canonical_json, diff_manifests
 from repro.obs.profile import parse_folded
 from repro.obs.slo import SLOReport, load_slo_report
 from repro.obs.spans import Span, child_map
+
+
+class ArtifactError(Exception):
+    """An artifact file could not be read or parsed (CLI exit 2)."""
+
+
+def _load_artifact(loader: Callable[..., Any], *paths: str, **kwargs: Any) -> Any:
+    """Run an artifact ``loader`` with uniform bad-file translation.
+
+    Every subcommand funnels its file access through here, so a missing
+    file, a permissions problem or malformed content produces the same
+    ``error: <reason>`` + exit-2 behavior regardless of which artifact
+    kind was being read.
+    """
+    try:
+        return loader(*paths, **kwargs)
+    except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+        raise ArtifactError(str(exc)) from exc
 
 
 def _render_attributes(span: Span) -> str:
@@ -158,6 +186,27 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit 1 when any SLO is at critical burn (default: observe-only)",
     )
+
+    divergence = subparsers.add_parser(
+        "divergence",
+        help="find the first event at which two flight recordings fork "
+        "(exit 1 when diverged)",
+    )
+    divergence.add_argument(
+        "left", help="left recording (flight dir or run dir with flight/ inside)"
+    )
+    divergence.add_argument("right", help="right recording (same layouts)")
+    divergence.add_argument(
+        "--context",
+        type=int,
+        default=5,
+        help="matching events to echo before the fork (default 5)",
+    )
+    divergence.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the alignment as canonical JSON instead of text",
+    )
     return parser
 
 
@@ -185,25 +234,43 @@ def _render_slo(report: SLOReport, strict: bool) -> int:
 
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "summary":
-        print(
-            _render_summary(
-                load_manifest(args.manifest), top=args.top, by_shard=args.by_shard
-            )
-        )
+        manifest = _load_artifact(load_manifest, args.manifest)
+        print(_render_summary(manifest, top=args.top, by_shard=args.by_shard))
         return 0
     if args.command == "spans":
-        print(render_span_tree(load_spans_jsonl(args.spans), limit=args.limit))
+        spans = _load_artifact(load_spans_jsonl, args.spans)
+        print(render_span_tree(spans, limit=args.limit))
         return 0
     if args.command == "diff":
-        report = diff_manifests(load_manifest(args.left), load_manifest(args.right))
+        left = _load_artifact(load_manifest, args.left)
+        right = _load_artifact(load_manifest, args.right)
+        report = diff_manifests(left, right)
         print(report.render())
+        if not report.clean and left.flight and right.flight:
+            print(
+                "flight recordings available: run "
+                "`python -m repro.obs divergence <left-run> <right-run>` "
+                "to locate the first divergent event"
+            )
         return 0 if report.clean else 1
     if args.command == "flame":
-        entries = parse_folded(Path(args.folded).read_text())
+        entries = _load_artifact(
+            lambda path: parse_folded(Path(path).read_text()), args.folded
+        )
         print(render_flame_table(entries, top=args.top))
         return 0
     if args.command == "slo":
-        return _render_slo(load_slo_report(args.report), strict=args.strict)
+        report = _load_artifact(load_slo_report, args.report)
+        return _render_slo(report, strict=args.strict)
+    if args.command == "divergence":
+        alignment = _load_artifact(
+            align_runs, args.left, args.right, context=args.context
+        )
+        if args.json:
+            print(canonical_json(alignment.to_dict()))
+        else:
+            print(render_alignment(alignment))
+        return 0 if alignment.identical else 1
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
@@ -221,6 +288,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return code if isinstance(code, int) else 2
     try:
         return _dispatch(args)
-    except (OSError, json.JSONDecodeError, KeyError, ValueError) as exc:
+    except ArtifactError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

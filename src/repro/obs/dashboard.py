@@ -12,10 +12,14 @@ from collections import defaultdict
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.divergence import DivergenceReport, render_report
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import SLOReport
 from repro.obs.spans import Span
+
+#: Counter prefix under which the matching engine reports pruning.
+PRUNE_PREFIX = "matching.prune."
 
 
 def _format(value: float) -> str:
@@ -44,12 +48,57 @@ def span_cost_rows(spans: Sequence[Span]) -> List[Tuple[str, int, float, float]]
     return rows
 
 
+def _pruning_lines(registry: MetricsRegistry) -> List[str]:
+    """The "Pruning" section: PR 5's top-k skip telemetry, if present."""
+    counters = registry.counters()
+    if not any(name.startswith(PRUNE_PREFIX) for name in counters):
+        return []
+    scored = counters.get("matching.prune.candidates_scored", 0.0)
+    total = counters.get("matching.prune.candidates_total", 0.0)
+    skipped = counters.get("matching.prune.chunks_skipped", 0.0)
+    chunks = counters.get("matching.prune.chunks_total", 0.0)
+    rows = [
+        ["pruned rank calls", _format(counters.get("matching.prune.calls", 0.0))],
+        [
+            "exhaustive fallbacks",
+            _format(counters.get("matching.prune.fallback_calls", 0.0)),
+        ],
+        ["domain skips", _format(counters.get("matching.prune.domain_skips", 0.0))],
+        [
+            "candidates scored / total",
+            f"{_format(scored)} / {_format(total)}"
+            + (f" ({scored / total:.1%})" if total > 0 else ""),
+        ],
+        [
+            "chunks skipped / total",
+            f"{_format(skipped)} / {_format(chunks)}"
+            + (f" ({skipped / chunks:.1%})" if chunks > 0 else ""),
+        ],
+    ]
+    lines = ["### Pruning", ""]
+    lines.extend(_table(["pruning", "value"], rows))
+    histogram = registry.histograms().get("matching.prune.scored_fraction")
+    if histogram is not None:
+        summary = histogram.summary()
+        lines.extend(
+            [
+                "",
+                "scored fraction per pruned call: "
+                f"mean {summary['mean']:.3f}, p50 {summary['p50']:.3f}, "
+                f"p90 {summary['p90']:.3f} (n={_format(summary['count'])})",
+            ]
+        )
+    lines.append("")
+    return lines
+
+
 def render_dashboard(
     registry: MetricsRegistry,
     spans: Optional[Sequence[Span]] = None,
     manifest: Optional[RunManifest] = None,
     title: str = "Run dashboard",
     slo_report: Optional[SLOReport] = None,
+    divergence: Optional[DivergenceReport] = None,
 ) -> str:
     """Render the full markdown dashboard for one run."""
     lines: List[str] = [f"## {title}", ""]
@@ -102,6 +151,11 @@ def render_dashboard(
             )
         )
         lines.append("")
+    if divergence is not None:
+        lines.extend(["### Divergence", "", "```"])
+        lines.append(render_report(divergence))
+        lines.extend(["```", ""])
+    lines.extend(_pruning_lines(registry))
     counters = registry.counters()
     if counters:
         lines.extend(["### Counters", ""])
@@ -165,9 +219,11 @@ def append_dashboard(
     manifest: Optional[RunManifest] = None,
     title: str = "Run dashboard",
     slo_report: Optional[SLOReport] = None,
+    divergence: Optional[DivergenceReport] = None,
 ) -> None:
     """Append the rendered dashboard to a markdown report file."""
     with open(path, "a") as handle:
         handle.write(
-            "\n" + render_dashboard(registry, spans, manifest, title, slo_report)
+            "\n"
+            + render_dashboard(registry, spans, manifest, title, slo_report, divergence)
         )

@@ -1,0 +1,565 @@
+"""First-divergence debugger over flight recordings.
+
+Given two recordings written by :class:`repro.obs.flight.FlightRecorder`
+(or two run directories holding one recording per shard), this module
+answers "**where** did these runs stop being bitwise-identical?":
+
+1. If the footer digests match, the recordings are identical — done.
+2. Otherwise the checkpoint digests are **binary-searched** for the
+   first checkpoint whose rolling digest disagrees.  Divergence of a
+   rolling (prefix-sensitive) digest is monotone over checkpoints, so
+   the search brackets the fork to one checkpoint window without
+   scanning the whole log.
+3. The bracketed window is scanned line-by-line for the first entry
+   that differs, and the result is reported with causal context: the
+   differing fields, the span stack of both sides (when span artifacts
+   are available), the RNG streams whose draw counters disagree, and
+   the last K matching events before the fork.
+
+A divergent *checkpoint* line with identical event records around it is
+itself diagnostic: the per-event ``draws`` totals matched while the
+per-stream counters forked — two streams traded draws one-for-one —
+and the report names exactly those streams.
+
+Everything here works on *files and loaded values only*; the module
+never imports the kernel, keeping ``repro.obs`` at the bottom of the
+layer DAG.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.flight import CHUNK_PATTERN, FLIGHT_VERSION, FOOTER_FILE
+from repro.obs.spans import Span, ancestors, span_index
+
+PathLike = Union[str, Path]
+
+#: Default number of trailing matched events echoed in a report.
+DEFAULT_CONTEXT = 5
+#: Spans artifact expected next to a recording's parent run directory.
+SPANS_SIBLING = "spans.jsonl"
+
+
+@dataclass
+class FlightRecording:
+    """One loaded flight recording: footer + parsed log lines.
+
+    ``entries`` preserves file order (event records interleaved with
+    checkpoint lines); ``checkpoint_positions`` maps checkpoint ordinal
+    → index into ``entries``.
+    """
+
+    path: str
+    footer: Dict[str, Any]
+    entries: List[Dict[str, Any]]
+    checkpoint_positions: List[int]
+    spans: Optional[List[Span]] = None
+
+    @property
+    def shard_id(self) -> int:
+        """Namespace index of the process that recorded this log."""
+        return int(self.footer.get("shard_id", 0))
+
+    @property
+    def digest(self) -> str:
+        """Final rolling digest over every log line."""
+        return str(self.footer["digest"])
+
+    @property
+    def events(self) -> int:
+        """Event records in the recording (checkpoint lines excluded)."""
+        return int(self.footer["events"])
+
+    def checkpoint_entry(self, ordinal: int) -> Dict[str, Any]:
+        """The checkpoint *line* (with stream counters) at ``ordinal``."""
+        return self.entries[self.checkpoint_positions[ordinal]]
+
+
+def load_recording(path: PathLike) -> FlightRecording:
+    """Load and integrity-check one recording directory.
+
+    Verifies the footer's rolling digest against the chunk bytes, so a
+    corrupt or hand-edited recording fails loudly (``ValueError``)
+    instead of producing a nonsense alignment.
+    """
+    directory = Path(path)
+    footer_path = directory / FOOTER_FILE
+    if not footer_path.is_file():
+        raise ValueError(f"not a flight recording (no {FOOTER_FILE}): {directory}")
+    footer = json.loads(footer_path.read_text())
+    if footer.get("version") != FLIGHT_VERSION:
+        raise ValueError(
+            f"unsupported flight recording version {footer.get('version')!r} "
+            f"in {footer_path}"
+        )
+    digest = hashlib.sha256()
+    entries: List[Dict[str, Any]] = []
+    checkpoint_positions: List[int] = []
+    for chunk in range(int(footer.get("chunks", 0))):
+        chunk_path = directory / CHUNK_PATTERN.format(chunk)
+        for line in chunk_path.read_text().splitlines():
+            if not line:
+                continue
+            digest.update(line.encode("utf-8"))
+            digest.update(b"\n")
+            entry = json.loads(line)
+            if "checkpoint" in entry:
+                checkpoint_positions.append(len(entries))
+            entries.append(entry)
+    if digest.hexdigest() != footer["digest"]:
+        raise ValueError(f"flight recording digest mismatch in {directory}")
+    recording = FlightRecording(
+        path=str(directory),
+        footer=footer,
+        entries=entries,
+        checkpoint_positions=checkpoint_positions,
+    )
+    spans_path = directory.parent / SPANS_SIBLING
+    if spans_path.is_file():
+        from repro.obs.export import load_spans_jsonl
+
+        recording.spans = load_spans_jsonl(spans_path)
+    return recording
+
+
+def discover_recordings(path: PathLike) -> Dict[int, FlightRecording]:
+    """Map shard id → recording for a recording or run directory.
+
+    Accepts either a recording directory itself (containing
+    ``footer.json``), or a run directory containing ``flight/`` and/or
+    ``shard-*/flight/`` sub-recordings (the layout produced by
+    ``export_run`` and the sharded demo).
+    """
+    root = Path(path)
+    if (root / FOOTER_FILE).is_file():
+        recording = load_recording(root)
+        return {recording.shard_id: recording}
+    candidates = [root / "flight"]
+    candidates.extend(sorted(root.glob("shard-*/flight")))
+    recordings: Dict[int, FlightRecording] = {}
+    for candidate in candidates:
+        if not (candidate / FOOTER_FILE).is_file():
+            continue
+        recording = load_recording(candidate)
+        if recording.shard_id in recordings:
+            raise ValueError(
+                f"duplicate shard id {recording.shard_id} under {root} "
+                f"({recordings[recording.shard_id].path} vs {recording.path})"
+            )
+        recordings[recording.shard_id] = recording
+    if not recordings:
+        raise ValueError(f"no flight recordings found under {root}")
+    return recordings
+
+
+@dataclass(frozen=True)
+class StreamDelta:
+    """One RNG stream whose draw counters disagree at the fork."""
+
+    stream: str
+    left: int
+    right: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for the JSON report."""
+        return {"stream": self.stream, "left": self.left, "right": self.right}
+
+
+@dataclass
+class DivergenceReport:
+    """Where (and how) one shard's recordings stop matching.
+
+    ``kind`` is one of ``identical``, ``event`` (an event record
+    differs), ``rng-checkpoint`` (only per-stream counters differ),
+    ``truncated`` (one log is a strict prefix of the other) or
+    ``missing-left`` / ``missing-right`` (the shard exists on one side
+    only).
+    """
+
+    shard_id: int
+    kind: str
+    left_events: int = 0
+    right_events: int = 0
+    index: Optional[int] = None
+    left_entry: Optional[Dict[str, Any]] = None
+    right_entry: Optional[Dict[str, Any]] = None
+    fields: List[str] = field(default_factory=list)
+    streams: List[StreamDelta] = field(default_factory=list)
+    context: List[Dict[str, Any]] = field(default_factory=list)
+    left_stack: Optional[str] = None
+    right_stack: Optional[str] = None
+    window: Optional[Tuple[int, int]] = None
+    probes: int = 0
+
+    @property
+    def identical(self) -> bool:
+        """Whether this shard's recordings are bitwise-identical."""
+        return self.kind == "identical"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for ``--json`` output."""
+        return {
+            "shard_id": self.shard_id,
+            "kind": self.kind,
+            "left_events": self.left_events,
+            "right_events": self.right_events,
+            "index": self.index,
+            "left_entry": self.left_entry,
+            "right_entry": self.right_entry,
+            "fields": list(self.fields),
+            "streams": [delta.to_dict() for delta in self.streams],
+            "context": [dict(entry) for entry in self.context],
+            "left_stack": self.left_stack,
+            "right_stack": self.right_stack,
+            "window": list(self.window) if self.window is not None else None,
+            "probes": self.probes,
+        }
+
+
+# agora: shard-safe
+def _differing_fields(left: Dict[str, Any], right: Dict[str, Any]) -> List[str]:
+    """Sorted keys on which two parsed log entries disagree."""
+    keys = set(left) | set(right)
+    sentinel = object()
+    return sorted(
+        key for key in keys if left.get(key, sentinel) != right.get(key, sentinel)
+    )
+
+
+# agora: shard-safe
+def _stream_deltas(
+    left: Dict[str, int], right: Dict[str, int]
+) -> List[StreamDelta]:
+    """Streams whose counters differ between two counter tables."""
+    names = set(left) | set(right)
+    return [
+        StreamDelta(stream=name, left=int(left.get(name, 0)), right=int(right.get(name, 0)))
+        for name in sorted(names)
+        if int(left.get(name, 0)) != int(right.get(name, 0))
+    ]
+
+
+# agora: shard-safe
+def _span_stack(span_id: Optional[int], spans: Optional[Sequence[Span]]) -> Optional[str]:
+    """``root > … > leaf`` rendering of a span's ancestor chain."""
+    if span_id is None or spans is None:
+        return None
+    index = span_index(list(spans))
+    leaf = index.get(span_id)
+    if leaf is None:
+        return f"#{span_id} (span not in artifact)"
+    chain = ancestors(leaf, index) + [leaf]
+    return " > ".join(f"#{span.span_id} {span.name}" for span in chain)
+
+
+def _first_divergent_checkpoint(
+    left: FlightRecording, right: FlightRecording
+) -> Tuple[Optional[int], int]:
+    """Binary-search the first paired checkpoint whose digests differ.
+
+    Returns ``(ordinal, probes)``; ordinal is ``None`` when every paired
+    checkpoint agrees.  Valid because a rolling digest that has diverged
+    stays diverged: the predicate "digests differ at ordinal i" is
+    monotone in ``i``.
+    """
+    left_index = left.footer.get("checkpoints", [])
+    right_index = right.footer.get("checkpoints", [])
+    paired = min(len(left_index), len(right_index))
+    probes = 0
+    if paired == 0:
+        return None, probes
+    lo, hi = 0, paired - 1
+    if left_index[hi]["digest"] == right_index[hi]["digest"]:
+        return None, 1
+    probes += 1
+    first = hi
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        probes += 1
+        if left_index[mid]["digest"] != right_index[mid]["digest"]:
+            first = mid
+            hi = mid - 1
+        else:
+            lo = mid + 1
+    return first, probes
+
+
+def find_divergence(
+    left: FlightRecording,
+    right: FlightRecording,
+    context: int = DEFAULT_CONTEXT,
+) -> DivergenceReport:
+    """Locate the first divergent log entry between two recordings."""
+    shard_id = left.shard_id
+    report = DivergenceReport(
+        shard_id=shard_id,
+        kind="identical",
+        left_events=left.events,
+        right_events=right.events,
+    )
+    if left.digest == right.digest and left.events == right.events:
+        return report
+    if left.footer.get("checkpoint_interval") != right.footer.get(
+        "checkpoint_interval"
+    ):
+        raise ValueError(
+            "recordings use different checkpoint intervals "
+            f"({left.footer.get('checkpoint_interval')} vs "
+            f"{right.footer.get('checkpoint_interval')}); re-record with "
+            "matching settings"
+        )
+
+    first_ck, probes = _first_divergent_checkpoint(left, right)
+    report.probes = probes
+    # A checkpoint's indexed digest covers the lines *strictly before*
+    # its own line, so a matching digest still leaves the checkpoint
+    # line itself (its streams table) as a fork candidate — every
+    # window below therefore starts AT the last agreeing checkpoint
+    # line, not after it.
+    if first_ck is None:
+        paired = min(len(left.checkpoint_positions), len(right.checkpoint_positions))
+        start = left.checkpoint_positions[paired - 1] if paired > 0 else 0
+        end = min(len(left.entries), len(right.entries))
+    else:
+        start = left.checkpoint_positions[first_ck - 1] if first_ck > 0 else 0
+        end = min(
+            left.checkpoint_positions[first_ck],
+            right.checkpoint_positions[first_ck],
+        ) + 1
+    report.window = (start, end)
+
+    for position in range(start, end):
+        left_entry = left.entries[position]
+        right_entry = right.entries[position]
+        if left_entry == right_entry:
+            continue
+        report.index = position
+        report.left_entry = left_entry
+        report.right_entry = right_entry
+        report.fields = _differing_fields(left_entry, right_entry)
+        if "checkpoint" in left_entry or "checkpoint" in right_entry:
+            report.kind = "rng-checkpoint"
+            report.streams = _stream_deltas(
+                dict(left_entry.get("streams", {})),
+                dict(right_entry.get("streams", {})),
+            )
+        else:
+            report.kind = "event"
+            report.streams = _stream_deltas(
+                _counters_at_or_after(left, position),
+                _counters_at_or_after(right, position),
+            )
+            report.left_stack = _span_stack(left_entry.get("span"), left.spans)
+            report.right_stack = _span_stack(right_entry.get("span"), right.spans)
+        report.context = _matching_context(left, position, context)
+        return report
+
+    # Every compared entry matched: one log must be a prefix of the other.
+    report.kind = "truncated"
+    report.index = end
+    shorter = left if len(left.entries) <= len(right.entries) else right
+    longer = right if shorter is left else left
+    if end < len(longer.entries):
+        extra = longer.entries[end]
+        if shorter is left:
+            report.right_entry = extra
+        else:
+            report.left_entry = extra
+    report.streams = _stream_deltas(
+        dict(left.footer.get("streams", {})), dict(right.footer.get("streams", {}))
+    )
+    report.context = _matching_context(left, end, context)
+    return report
+
+
+# agora: shard-safe
+def _counters_at_or_after(recording: FlightRecording, position: int) -> Dict[str, int]:
+    """Stream counters from the first checkpoint at/after ``position``.
+
+    Falls back to the footer's final counters when the divergence sits
+    after the last checkpoint.
+    """
+    for checkpoint_position in recording.checkpoint_positions:
+        if checkpoint_position >= position:
+            entry = recording.entries[checkpoint_position]
+            return {name: int(count) for name, count in entry.get("streams", {}).items()}
+    return {
+        name: int(count)
+        for name, count in recording.footer.get("streams", {}).items()
+    }
+
+
+# agora: shard-safe
+def _matching_context(
+    recording: FlightRecording, position: int, context: int
+) -> List[Dict[str, Any]]:
+    """The last ``context`` matching *event* records before ``position``."""
+    matched: List[Dict[str, Any]] = []
+    for entry in reversed(recording.entries[:position]):
+        if "checkpoint" in entry:
+            continue
+        matched.append(entry)
+        if len(matched) >= context:
+            break
+    return list(reversed(matched))
+
+
+@dataclass
+class RunAlignment:
+    """Per-shard divergence reports for two runs."""
+
+    left_path: str
+    right_path: str
+    reports: List[DivergenceReport]
+
+    @property
+    def identical(self) -> bool:
+        """Whether every shard's recordings are bitwise-identical."""
+        return all(report.identical for report in self.reports)
+
+    def first_divergence(self) -> Optional[DivergenceReport]:
+        """The divergent report with the lowest shard id, if any."""
+        for report in self.reports:
+            if not report.identical:
+                return report
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form for ``--json`` output."""
+        return {
+            "left": self.left_path,
+            "right": self.right_path,
+            "identical": self.identical,
+            "reports": [report.to_dict() for report in self.reports],
+        }
+
+
+def align_runs(
+    left_path: PathLike,
+    right_path: PathLike,
+    context: int = DEFAULT_CONTEXT,
+) -> RunAlignment:
+    """Compare all shards of two runs (single recordings included)."""
+    left_map = discover_recordings(left_path)
+    right_map = discover_recordings(right_path)
+    reports: List[DivergenceReport] = []
+    for shard_id in sorted(set(left_map) | set(right_map)):
+        left = left_map.get(shard_id)
+        right = right_map.get(shard_id)
+        if left is None:
+            assert right is not None
+            reports.append(
+                DivergenceReport(
+                    shard_id=shard_id,
+                    kind="missing-left",
+                    right_events=right.events,
+                )
+            )
+        elif right is None:
+            reports.append(
+                DivergenceReport(
+                    shard_id=shard_id,
+                    kind="missing-right",
+                    left_events=left.events,
+                )
+            )
+        else:
+            reports.append(find_divergence(left, right, context=context))
+    return RunAlignment(
+        left_path=str(left_path), right_path=str(right_path), reports=reports
+    )
+
+
+# agora: shard-safe
+def _render_entry(entry: Optional[Dict[str, Any]]) -> str:
+    """One-line rendering of a parsed log entry."""
+    if entry is None:
+        return "(absent)"
+    if "checkpoint" in entry:
+        return (
+            f"checkpoint #{entry['checkpoint']} after {entry['events']} events "
+            f"digest={str(entry.get('digest', ''))[:12]}…"
+        )
+    span = entry.get("span")
+    span_text = f"#{span}" if span is not None else "-"
+    return (
+        f"seq={entry.get('seq')} t={entry.get('time')} kind={entry.get('kind')} "
+        f"callback={entry.get('callback')} span={span_text} "
+        f"draws={entry.get('draws')}"
+    )
+
+
+# agora: shard-safe
+def render_report(report: DivergenceReport) -> str:
+    """Human-readable rendering of one shard's divergence report."""
+    head = f"shard {report.shard_id}: "
+    if report.identical:
+        return (
+            head + f"identical ({report.left_events} events, digests match)"
+        )
+    lines: List[str] = []
+    if report.kind == "missing-left":
+        lines.append(head + "recording missing on the left side")
+        return "\n".join(lines)
+    if report.kind == "missing-right":
+        lines.append(head + "recording missing on the right side")
+        return "\n".join(lines)
+    if report.kind == "truncated":
+        lines.append(
+            head
+            + f"DIVERGED — one recording is a prefix of the other "
+            f"(left {report.left_events} vs right {report.right_events} events)"
+        )
+    elif report.kind == "rng-checkpoint":
+        lines.append(
+            head
+            + "DIVERGED at an RNG accounting checkpoint "
+            "(event records match; streams traded draws)"
+        )
+    else:
+        lines.append(head + f"DIVERGED at log entry {report.index}")
+    if report.window is not None:
+        lines.append(
+            f"  window: entries {report.window[0]}..{report.window[1]} "
+            f"({report.probes} checkpoint probes)"
+        )
+    if report.kind != "truncated" or report.left_entry or report.right_entry:
+        lines.append("  first divergent entry:")
+        lines.append(f"    left : {_render_entry(report.left_entry)}")
+        lines.append(f"    right: {_render_entry(report.right_entry)}")
+    if report.fields:
+        lines.append(f"  fields differing: {', '.join(report.fields)}")
+    if report.left_stack is not None:
+        lines.append(f"  span stack (left) : {report.left_stack}")
+    if report.right_stack is not None:
+        lines.append(f"  span stack (right): {report.right_stack}")
+    if report.streams:
+        lines.append("  rng streams disagreeing:")
+        for delta in report.streams:
+            lines.append(
+                f"    {delta.stream}: left={delta.left} right={delta.right}"
+            )
+    if report.context:
+        lines.append(f"  last {len(report.context)} matching events:")
+        for entry in report.context:
+            lines.append(f"    {_render_entry(entry)}")
+    return "\n".join(lines)
+
+
+# agora: shard-safe
+def render_alignment(alignment: RunAlignment) -> str:
+    """Human-readable rendering of a whole-run alignment."""
+    lines = [
+        f"left : {alignment.left_path}",
+        f"right: {alignment.right_path}",
+    ]
+    for report in alignment.reports:
+        lines.append(render_report(report))
+    if alignment.identical:
+        lines.append("runs are bitwise-identical")
+    return "\n".join(lines)

@@ -10,6 +10,7 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Union
 
+from repro.obs.flight import FlightRecorder
 from repro.obs.manifest import RunManifest, canonical_json
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import SimProfiler, write_profile
@@ -23,6 +24,8 @@ SPANS_FILE = "spans.jsonl"
 METRICS_FILE = "metrics.jsonl"
 MANIFEST_FILE = "manifest.json"
 SLO_FILE = "slo.json"
+#: Flight recordings live in their own subdirectory (chunked JSONL).
+FLIGHT_DIR = "flight"
 
 
 def write_spans_jsonl(spans: Sequence[Span], path: PathLike) -> int:
@@ -90,14 +93,17 @@ def export_run(
     tracer: Optional[SpanTracer] = None,
     profiler: Optional[SimProfiler] = None,
     slo_report: Optional[SLOReport] = None,
+    flight: Optional[FlightRecorder] = None,
 ) -> Dict[str, str]:
     """Write a run's full artifact set into ``directory``.
 
     Produces ``manifest.json`` always, plus ``metrics.jsonl`` /
     ``spans.jsonl`` when a registry/tracer is given, ``profile.folded``
     + ``profile.json`` when a profiler is given (stacks need the tracer
-    too), and ``slo.json`` when an SLO report is given.  Returns a map
-    of artifact kind → written path (for logs and CI upload globs).
+    too), ``slo.json`` when an SLO report is given, and a ``flight/``
+    recording directory when a flight recorder is given (the recorder is
+    finalized here).  Returns a map of artifact kind → written path (for
+    logs and CI upload globs).
     """
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
@@ -120,4 +126,6 @@ def export_run(
         slo_path = target / SLO_FILE
         write_slo_report(slo_report, slo_path)
         written["slo"] = str(slo_path)
+    if flight is not None:
+        written.update(flight.finalize(target / FLIGHT_DIR))
     return written

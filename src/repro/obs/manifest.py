@@ -62,6 +62,13 @@ class RunManifest:
     #: drift comparison — a shard appearing, vanishing or drifting is a
     #: reportable difference
     shards: Dict[str, Any] = field(default_factory=dict)
+    #: flight-recording provenance (rolling digest, event count, shard
+    #: id) for runs recorded with ``enable_flight_recorder``; *included*
+    #: in drift comparison — a drifted flight digest means the recordings
+    #: are available for ``python -m repro.obs divergence``.  Omitted from
+    #: the serialized form when empty so recorder-off manifests (and
+    #: their digests) are byte-identical to pre-flight manifests.
+    flight: Dict[str, Any] = field(default_factory=dict)
     #: free-form annotations (run name, scenario, host notes); *excluded*
     #: from drift comparison so two attested-identical runs may still be
     #: labelled differently
@@ -70,7 +77,7 @@ class RunManifest:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-dict form (stable field names)."""
-        return {
+        payload: Dict[str, Any] = {
             "version": self.version,
             "seed": self.seed,
             "config_digest": self.config_digest,
@@ -80,6 +87,9 @@ class RunManifest:
             "shards": {key: dict(value) for key, value in self.shards.items()},
             "labels": dict(self.labels),
         }
+        if self.flight:
+            payload["flight"] = dict(self.flight)
+        return payload
 
     def to_json(self) -> str:
         """Canonical JSON rendering."""
@@ -101,6 +111,7 @@ class RunManifest:
             span_count=int(payload["span_count"]),
             metrics=dict(payload.get("metrics", {})),
             shards=dict(payload.get("shards", {})),
+            flight=dict(payload.get("flight", {})),
             labels=dict(payload.get("labels", {})),
             version=str(payload.get("version", MANIFEST_VERSION)),
         )

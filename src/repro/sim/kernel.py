@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
+from repro.obs.flight import FlightRecorder, callback_identity
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import SimProfiler
 from repro.obs.spans import SpanTracer
@@ -48,6 +49,13 @@ class Simulator:
         to :meth:`repro.obs.profile.SimProfiler.record`, attributing
         elapsed sim time and event counts to span stacks.  ``None`` (the
         default) keeps the hot loop branch-only, mirroring ``tracer``.
+    flight:
+        Optional flight recorder.  When attached, the kernel binds the
+        RNG draw-counter accessors and appends one record per dispatched
+        event — *after* the callback runs, so a record's ``draws`` total
+        reflects the randomness the event consumed — to
+        :meth:`repro.obs.flight.FlightRecorder.record`.  ``None`` (the
+        default) keeps the hot loop branch-only, mirroring ``tracer``.
 
     Example
     -------
@@ -65,14 +73,21 @@ class Simulator:
         trace: Optional[TraceRecorder] = None,
         tracer: Optional[SpanTracer] = None,
         profiler: Optional[SimProfiler] = None,
+        flight: Optional[FlightRecorder] = None,
     ):
         self.now: float = 0.0
         self.rng = RngStreams(seed)
         self.trace = trace if trace is not None else TraceRecorder()
         self.tracer = tracer
         self.profiler = profiler
+        self.flight = flight
         if tracer is not None:
             tracer.bind_clock(lambda: self.now)
+        if flight is not None:
+            flight.bind_rng(
+                draw_total=lambda: self.rng.draw_total,
+                draw_counts=self.rng.draw_counts,
+            )
         self._queue = EventQueue()
         self._running = False
         self._processed = 0
@@ -161,6 +176,11 @@ class Simulator:
         processed = 0
         tracer = self.tracer
         profiler = self.profiler
+        flight = self.flight
+        if flight is not None:
+            # Baseline the RNG draw counters before the first dispatch so
+            # the recording accounts the run, not construction.
+            flight.start()
         try:
             while True:
                 if max_events is not None and processed >= max_events:
@@ -186,6 +206,14 @@ class Simulator:
                         tracer.release()
                 else:
                     event.action()
+                if flight is not None:
+                    flight.record(
+                        event.seq,
+                        self.now,
+                        event.tag,
+                        callback_identity(event.action),
+                        event.span_id,
+                    )
                 if tracer is not None:
                     self.trace.count("sim.events")
                 processed += 1

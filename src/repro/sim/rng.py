@@ -5,6 +5,17 @@ of a single root seed.  Two runs with the same root seed produce identical
 results regardless of the order in which components were created, because
 each stream is derived from the root seed and the stream's name alone.
 
+Draw accounting
+---------------
+Every generator handed out by :meth:`RngStreams.stream` is wrapped in a
+:class:`CountingGenerator`: a transparent proxy that counts each draw call
+per stream name with **zero bitstream change** (the proxy invokes the very
+same methods on the very same underlying generator).  The counters make a
+run's randomness consumption attributable — the flight recorder
+(:mod:`repro.obs.flight`) snapshots them per event so the divergence
+debugger can name the exact streams whose consumption forked between two
+runs.
+
 Example
 -------
 >>> streams = RngStreams(seed=42)
@@ -12,14 +23,35 @@ Example
 >>> b = streams.stream("sources.availability")
 >>> a is streams.stream("network.latency")
 True
+>>> _ = a.random(3)
+>>> streams.draw_counts()["network.latency"]
+1
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterator
+from typing import Any, Dict, Iterator, cast
 
 import numpy as np
+
+#: ``numpy.random.Generator`` methods that consume bits from the stream.
+#: Attribute access to anything else passes through the counting proxy
+#: untouched (``bit_generator``, ``spawn``, dunders, ...).
+DRAW_METHODS = frozenset(
+    {
+        "beta", "binomial", "bytes", "chisquare", "choice", "dirichlet",
+        "exponential", "f", "gamma", "geometric", "gumbel",
+        "hypergeometric", "integers", "laplace", "logistic", "lognormal",
+        "logseries", "multinomial", "multivariate_hypergeometric",
+        "multivariate_normal", "negative_binomial",
+        "noncentral_chisquare", "noncentral_f", "normal", "pareto",
+        "permutation", "permuted", "poisson", "power", "random",
+        "rayleigh", "shuffle", "standard_cauchy", "standard_exponential",
+        "standard_gamma", "standard_normal", "standard_t", "triangular",
+        "uniform", "vonmises", "wald", "weibull", "zipf",
+    }
+)
 
 
 def derive_seed(root_seed: int, name: str) -> int:
@@ -32,6 +64,50 @@ def derive_seed(root_seed: int, name: str) -> int:
     payload = f"{root_seed}:{name}".encode("utf-8")
     digest = hashlib.sha256(payload).digest()
     return int.from_bytes(digest[:8], "little")
+
+
+class CountingGenerator:
+    """A transparent draw-counting proxy around one ``numpy`` generator.
+
+    Draw methods (see :data:`DRAW_METHODS`) are wrapped so each *call*
+    increments the owning registry's per-stream counter before delegating
+    to the untouched underlying generator — the produced bitstream is
+    bit-for-bit what the raw generator would produce.  Wrapped methods
+    are cached in the instance ``__dict__`` on first access, so the
+    ``__getattr__`` indirection is paid once per method name, not per
+    draw.
+    """
+
+    def __init__(
+        self, generator: np.random.Generator, owner: "RngStreams", name: str
+    ) -> None:
+        self._generator = generator
+        self._owner = owner
+        self._name = name
+
+    @property
+    def raw(self) -> np.random.Generator:
+        """The unwrapped underlying generator (escape hatch)."""
+        return self._generator
+
+    def __getattr__(self, attr: str) -> Any:
+        value = getattr(self._generator, attr)
+        if attr in DRAW_METHODS:
+            owner, name = self._owner, self._name
+
+            def counted(*args: Any, **kwargs: Any) -> Any:
+                owner._count_draw(name)
+                return value(*args, **kwargs)
+
+            counted.__name__ = attr
+            # Cache the bound wrapper: later accesses hit the instance
+            # dict directly and never re-enter __getattr__.
+            self.__dict__[attr] = counted
+            return counted
+        return value
+
+    def __repr__(self) -> str:
+        return f"CountingGenerator({self._name!r})"
 
 
 class RngStreams:
@@ -47,26 +123,65 @@ class RngStreams:
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
         self._streams: Dict[str, np.random.Generator] = {}
+        self._draw_counts: Dict[str, int] = {}
+        self._draw_total = 0
 
     def stream(self, name: str) -> np.random.Generator:
         """Return the generator for ``name``, creating it on first use."""
         if name not in self._streams:
             child_seed = derive_seed(self.seed, name)
-            self._streams[name] = np.random.default_rng(child_seed)
+            self._draw_counts.setdefault(name, 0)
+            self._streams[name] = cast(
+                np.random.Generator,
+                CountingGenerator(np.random.default_rng(child_seed), self, name),
+            )
         return self._streams[name]
 
     def fresh(self, name: str) -> np.random.Generator:
-        """Return a *new* generator for ``name``, resetting any prior state."""
+        """Return a *new* generator for ``name``, resetting any prior state.
+
+        Draw counters are cumulative across ``fresh`` resets: a draw is a
+        draw, whichever incarnation of the stream produced it.
+        """
         self._streams.pop(name, None)
         return self.stream(name)
 
     def names(self) -> Iterator[str]:
-        """Iterate over the names of streams created so far."""
+        """Iterate over the names of streams created so far (sorted)."""
         return iter(sorted(self._streams))
 
     def spawn(self, prefix: str) -> "ScopedStreams":
         """Return a view that prefixes every stream name with ``prefix``."""
         return ScopedStreams(self, prefix)
+
+    # -- draw accounting ---------------------------------------------------
+    def _count_draw(self, name: str) -> None:
+        self._draw_counts[name] += 1
+        self._draw_total += 1
+
+    @property
+    def draw_total(self) -> int:
+        """Total draw calls across every stream (cheap: one int read)."""
+        return self._draw_total
+
+    def draw_counts(self) -> Dict[str, int]:
+        """Per-stream draw-call counts, sorted by stream name.
+
+        Streams that were created but never drawn from report 0 — an
+        *unconsumed* stream is itself diagnostic.
+        """
+        return {name: self._draw_counts[name] for name in sorted(self._draw_counts)}
+
+    def reset(self) -> None:
+        """Drop every stream and zero all draw accounting.
+
+        After a reset the registry behaves exactly like a freshly
+        constructed ``RngStreams(seed)``: the same stream names replay
+        the same bitstreams from the start.
+        """
+        self._streams.clear()
+        self._draw_counts.clear()
+        self._draw_total = 0
 
     def __repr__(self) -> str:
         return f"RngStreams(seed={self.seed}, streams={len(self._streams)})"
@@ -99,6 +214,19 @@ class ScopedStreams:
     def spawn(self, prefix: str) -> "ScopedStreams":
         """A nested scope with an extended prefix."""
         return ScopedStreams(self._parent, f"{self._prefix}.{prefix}")
+
+    def draw_counts(self) -> Dict[str, int]:
+        """Draw counts of the streams under this scope's prefix.
+
+        Keys keep their full (prefixed) names so they line up with
+        :meth:`RngStreams.draw_counts` and flight-recorder checkpoints.
+        """
+        prefix = f"{self._prefix}."
+        return {
+            name: count
+            for name, count in self._parent.draw_counts().items()
+            if name.startswith(prefix)
+        }
 
     def __repr__(self) -> str:
         return f"ScopedStreams(prefix={self._prefix!r}, seed={self.seed})"

@@ -251,3 +251,98 @@ class TestCliShardAndProfileCommands:
         # Observe-only by default; --strict turns a breach into exit 1.
         assert main(["slo", str(path), "--strict"]) == 1
         assert "critical burn" in capsys.readouterr().err
+
+
+class TestDivergenceCli:
+    def _record_run(self, tmp_path, name, script):
+        from repro.obs.flight import FlightRecorder
+
+        flight_dir = tmp_path / name / "flight"
+        flight_dir.mkdir(parents=True)
+        recorder = FlightRecorder()
+        for event in script:
+            recorder.record(*event)
+        recorder.finalize(flight_dir)
+        return tmp_path / name
+
+    def _script(self, n, mutate_at=None):
+        script = [(i, float(i), "tick", "demo:proc", None) for i in range(n)]
+        if mutate_at is not None:
+            seq, time, __, callback, span = script[mutate_at]
+            script[mutate_at] = (seq, time, "MUTANT", callback, span)
+        return script
+
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        a = self._record_run(tmp_path, "a", self._script(6))
+        b = self._record_run(tmp_path, "b", self._script(6))
+        assert main(["divergence", str(a), str(b)]) == 0
+        assert "bitwise-identical" in capsys.readouterr().out
+
+    def test_diverged_runs_exit_one(self, tmp_path, capsys):
+        a = self._record_run(tmp_path, "a", self._script(6))
+        b = self._record_run(tmp_path, "b", self._script(6, mutate_at=3))
+        assert main(["divergence", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        assert "kind=MUTANT" in out
+
+    def test_json_output_is_canonical(self, tmp_path, capsys):
+        import json
+
+        a = self._record_run(tmp_path, "a", self._script(4))
+        b = self._record_run(tmp_path, "b", self._script(4))
+        assert main(["divergence", str(a), str(b), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["identical"] is True
+
+    def test_missing_recording_exits_two(self, tmp_path, capsys):
+        a = self._record_run(tmp_path, "a", self._script(4))
+        assert main(["divergence", str(a), str(tmp_path / "nope")]) == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_corrupt_recording_exits_two(self, tmp_path, capsys):
+        a = self._record_run(tmp_path, "a", self._script(4))
+        b = self._record_run(tmp_path, "b", self._script(4))
+        chunk = b / "flight" / "chunk-000000.jsonl"
+        chunk.write_text(chunk.read_text().replace('"tick"', '"tock"'))
+        assert main(["divergence", str(a), str(b)]) == 2
+        assert "digest mismatch" in capsys.readouterr().err
+
+
+class TestDiffFlightHint:
+    def _export_with_flight(self, tmp_path, name, seed):
+        from repro.obs.flight import FlightRecorder
+
+        registry, tracer = make_registry(), make_tracer()
+        recorder = FlightRecorder()
+        recorder.record(0, 1.0, "tick", "demo:proc", None)
+        manifest = make_manifest(registry, tracer, seed=seed)
+        manifest.flight = recorder.manifest_section()
+        return export_run(
+            tmp_path / name, manifest, registry=registry, tracer=tracer,
+        )
+
+    def test_drifted_diff_mentions_divergence_command(self, tmp_path, capsys):
+        left = self._export_with_flight(tmp_path, "a", seed=11)
+        right = self._export_with_flight(tmp_path, "b", seed=12)
+        assert main(["diff", left["manifest"], right["manifest"]]) == 1
+        assert "repro.obs divergence" in capsys.readouterr().out
+
+    def test_clean_diff_has_no_hint(self, tmp_path, capsys):
+        left = self._export_with_flight(tmp_path, "a", seed=11)
+        right = self._export_with_flight(tmp_path, "b", seed=11)
+        assert main(["diff", left["manifest"], right["manifest"]]) == 0
+        assert "divergence" not in capsys.readouterr().out
+
+    def test_no_hint_without_flight_sections(self, tmp_path, capsys):
+        registry, tracer = make_registry(), make_tracer()
+        paths = {}
+        for name, seed in (("a", 11), ("b", 12)):
+            paths[name] = export_run(
+                tmp_path / name, make_manifest(registry, tracer, seed=seed),
+                registry=registry, tracer=tracer,
+            )
+        assert main(["diff", paths["a"]["manifest"], paths["b"]["manifest"]]) == 1
+        assert "divergence" not in capsys.readouterr().out

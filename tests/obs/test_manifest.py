@@ -180,3 +180,35 @@ class TestShardDiff:
         sharded = self.make_sharded(**{"0": shard_section()})
         assert plain.digest() != sharded.digest()
         assert RunManifest.from_json(sharded.to_json()) == sharded
+
+
+class TestFlightSection:
+    def flight_section(self, digest="f" * 64, events=10):
+        return {"digest": digest, "events": events, "shard_id": 0}
+
+    def test_flight_participates_in_digest(self):
+        plain = make_manifest()
+        with_flight = make_manifest(flight=self.flight_section())
+        assert plain.digest() != with_flight.digest()
+
+    def test_flight_omitted_from_payload_when_empty(self):
+        assert "flight" not in make_manifest().to_dict()
+        assert "flight" in make_manifest(flight=self.flight_section()).to_dict()
+
+    def test_round_trip_preserves_flight(self):
+        manifest = make_manifest(flight=self.flight_section())
+        assert RunManifest.from_json(manifest.to_json()) == manifest
+
+    def test_flight_digest_drift_is_reported(self):
+        left = make_manifest(flight=self.flight_section(digest="a" * 64))
+        right = make_manifest(flight=self.flight_section(digest="b" * 64))
+        report = diff_manifests(left, right)
+        assert not report.clean
+        assert any(d.key.startswith("flight.") for d in report.drifts)
+
+    def test_recorder_off_manifests_stay_identical(self):
+        # A run with the recorder off must produce byte-identical
+        # manifests to a pre-flight-recorder build.
+        left, right = make_manifest(), make_manifest(flight={})
+        assert left.to_json() == right.to_json()
+        assert diff_manifests(left, right).clean

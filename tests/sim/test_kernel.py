@@ -128,3 +128,49 @@ class TestProcesses:
         a = Simulator(seed=9).rng.stream("x").random(4)
         b = Simulator(seed=9).rng.stream("x").random(4)
         assert list(a) == list(b)
+
+
+class TestFlightHook:
+    def test_records_every_dispatched_event(self):
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder()
+        sim = Simulator(seed=3, flight=flight)
+        sim.schedule(1.0, lambda: None, tag="alpha")
+        sim.schedule(2.0, lambda: None, tag="beta")
+        sim.run()
+        assert flight.record_count == 2
+
+    def test_record_draws_reflect_callback_consumption(self):
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder()
+        sim = Simulator(seed=3, flight=flight)
+        sim.rng.stream("warmup").random(8)  # pre-run draws must not count
+        sim.schedule(1.0, lambda: sim.rng.stream("x").random(4), tag="draw")
+        sim.run(until=5.0)
+        footer = flight.footer_dict()
+        # The stream table only accounts draws made during the run.
+        assert footer["streams"] == {"x": 1}
+
+    def test_same_seed_runs_record_identical_digests(self):
+        from repro.obs.flight import FlightRecorder
+
+        digests = []
+        for _ in range(2):
+            flight = FlightRecorder()
+            sim = Simulator(seed=9, flight=flight)
+
+            def worker(sim=sim):
+                for __ in range(5):
+                    sim.rng.stream("w").random()
+                    yield 1.0
+
+            sim.process(worker(), tag="work")
+            sim.run()
+            digests.append(flight.digest)
+        assert digests[0] == digests[1]
+
+    def test_no_flight_attribute_left_none(self):
+        sim = Simulator(seed=1)
+        assert sim.flight is None

@@ -57,6 +57,78 @@ class TestRngStreams:
         assert list(streams.names()) == ["a", "b"]
 
 
+class TestDrawAccounting:
+    def test_draw_calls_are_counted_per_stream(self):
+        streams = RngStreams(7)
+        streams.stream("a").random(5)
+        streams.stream("a").normal()
+        streams.stream("b").integers(0, 10)
+        assert streams.draw_counts() == {"a": 2, "b": 1}
+        assert streams.draw_total == 3
+
+    def test_created_but_undrawn_stream_reports_zero(self):
+        streams = RngStreams(7)
+        streams.stream("idle")
+        assert streams.draw_counts() == {"idle": 0}
+        assert streams.draw_total == 0
+
+    def test_counting_does_not_change_bitstream(self):
+        counted = RngStreams(7).stream("x")
+        raw = np.random.default_rng(derive_seed(7, "x"))
+        np.testing.assert_array_equal(counted.random(16), raw.random(16))
+        np.testing.assert_array_equal(
+            counted.integers(0, 1000, size=16), raw.integers(0, 1000, size=16)
+        )
+        np.testing.assert_array_equal(counted.normal(size=16), raw.normal(size=16))
+
+    def test_raw_escape_hatch_bypasses_counting(self):
+        streams = RngStreams(7)
+        streams.stream("x").raw.random(4)
+        assert streams.draw_counts() == {"x": 0}
+
+    def test_counts_survive_scoped_indirection(self):
+        root = RngStreams(7)
+        scoped = root.spawn("net").spawn("link")
+        scoped.stream("latency").random(3)
+        assert root.draw_counts() == {"net.link.latency": 1}
+        assert scoped.draw_counts() == {"net.link.latency": 1}
+
+    def test_scoped_counts_exclude_other_prefixes(self):
+        root = RngStreams(7)
+        net = root.spawn("net")
+        net.stream("jitter").random()
+        root.stream("other").random()
+        assert net.draw_counts() == {"net.jitter": 1}
+
+    def test_counts_cumulative_across_fresh(self):
+        streams = RngStreams(7)
+        streams.stream("x").random(2)
+        streams.fresh("x").random(2)
+        assert streams.draw_counts() == {"x": 2}
+
+    def test_reset_zeroes_counts_and_replays_bitstream(self):
+        streams = RngStreams(7)
+        first = streams.stream("x").random(4)
+        streams.reset()
+        assert streams.draw_counts() == {}
+        assert streams.draw_total == 0
+        np.testing.assert_array_equal(streams.stream("x").random(4), first)
+
+    def test_counts_sorted_by_name(self):
+        streams = RngStreams(7)
+        streams.stream("b").random()
+        streams.stream("a").random()
+        assert list(streams.draw_counts()) == ["a", "b"]
+
+    def test_cached_wrapper_still_counts(self):
+        streams = RngStreams(7)
+        gen = streams.stream("x")
+        gen.random()  # first access caches the wrapper in __dict__
+        gen.random()
+        gen.random()
+        assert streams.draw_counts()["x"] == 3
+
+
 class TestScopedStreams:
     def test_scoped_prefixes_names(self):
         root = RngStreams(5)
