@@ -1,0 +1,72 @@
+"""Sharded execution of the matching plane (DESIGN.md §2h).
+
+Public surface:
+
+- :class:`~repro.parallel.pool.ShardPool` — persistent spawn-based
+  worker pool with shared-memory candidate matrices and deterministic
+  in-process fallback.
+- :class:`~repro.parallel.service.ParallelRankService` — domain-sharded
+  bridge the retrieve path talks to.
+- :mod:`~repro.parallel.shards` / :mod:`~repro.parallel.merge` — pure
+  partitioning and bitwise-deterministic merge logic.
+- :class:`~repro.parallel.model.ScanCostModel` — virtual-time shard
+  scaling model used by the benchmarks.
+- :mod:`~repro.parallel.safety` — the certified-roots gate over
+  ``shard_safety.json``.
+"""
+
+from repro.parallel.merge import (
+    RankPartial,
+    merge_prune_stats,
+    merge_ranked,
+    merge_scores,
+)
+from repro.parallel.model import ScanCostModel
+from repro.parallel.pool import ShardPool
+from repro.parallel.safety import (
+    SHARD_SAFE_VERDICTS,
+    WORKER_ROOTS,
+    ShardSafetyError,
+    verify_worker_roots,
+)
+from repro.parallel.service import ParallelRankService
+from repro.parallel.shards import (
+    Placement,
+    partition_domains,
+    single_placement,
+    slice_placements,
+    slice_ranges,
+    stable_worker_for,
+)
+from repro.parallel.shm import (
+    AttachedArray,
+    SharedArraySpec,
+    ShmArena,
+    attach_segment,
+    leaked_segments,
+)
+
+__all__ = [
+    "AttachedArray",
+    "Placement",
+    "RankPartial",
+    "ParallelRankService",
+    "ScanCostModel",
+    "SHARD_SAFE_VERDICTS",
+    "ShardPool",
+    "ShardSafetyError",
+    "SharedArraySpec",
+    "ShmArena",
+    "WORKER_ROOTS",
+    "attach_segment",
+    "leaked_segments",
+    "merge_prune_stats",
+    "merge_ranked",
+    "merge_scores",
+    "partition_domains",
+    "single_placement",
+    "slice_placements",
+    "slice_ranges",
+    "stable_worker_for",
+    "verify_worker_roots",
+]

@@ -1,0 +1,105 @@
+"""Deterministic merge of per-shard partial rank results.
+
+The whole bitwise-parity argument of the parallel plane lands here, so
+it is worth spelling out:
+
+1. **Per-candidate scores are slice-invariant.**  The einsum kernels
+   compute each candidate's score with one fixed reduction, so a worker
+   scoring its contiguous slice of the pool produces floats bitwise
+   equal to the single-process block scoring the same positions
+   (``CandidateBlock.score_range`` documents and property tests enforce
+   this).
+2. **The rank order is total.**  Ranks sort on ``(-score, item_id)`` and
+   item ids are unique within a pool, so for any two scored candidates
+   exactly one order is correct — a stable *(score, seq)* tie-break
+   where the item id plays the role of the sequence key.  Concatenating
+   per-shard partials and sorting by the same key therefore yields the
+   exact global order, independent of how the pool was sliced.
+3. **Per-shard top-k covers the global top-k.**  If a candidate is among
+   the global best ``k``, it is among the best ``k`` of its own shard
+   (its shard holds a subset of its competitors).  So the union of
+   per-shard top-k lists is a superset of the global top-k, and cutting
+   the merged order at ``k`` reproduces the single-process
+   ``rank_block_topk`` output exactly, floor filter included.
+
+Score vectors merge by seq-ordered concatenation (point 1 alone).
+:class:`~repro.uncertainty.pruning.PruneStats` merge by summing counts —
+telemetry of work done, not part of the parity contract (chunk
+boundaries legitimately differ across slicings).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.items import InformationItem
+from repro.uncertainty.pruning import PruneStats
+
+#: One shard's partial rank output: ``(global_position, score)`` pairs.
+RankPartial = List[Tuple[int, float]]
+
+
+# agora: shard-safe
+def merge_ranked(
+    items: Sequence[InformationItem],
+    partials: Sequence[RankPartial],
+    k: int = -1,
+    score_floor: float = 0.0,
+) -> List[Tuple[InformationItem, float]]:
+    """Fold per-shard partials into the global ranked list.
+
+    ``items`` is the coordinator's full pool (global positions index
+    into it).  ``k < 0`` keeps everything; with ``k >= 0`` the merged
+    order is cut at ``k`` and, when ``score_floor > 0``, sub-floor
+    entries are dropped — the same epilogue as
+    ``MatchingEngine.rank_block_topk``.
+    """
+    merged = sorted(
+        (
+            (items[position], score)
+            for partial in partials
+            for position, score in partial
+        ),
+        key=lambda pair: (-pair[1], pair[0].item_id),
+    )
+    if k >= 0:
+        merged = merged[:k]
+        if score_floor > 0.0:
+            merged = [(item, s) for item, s in merged if s >= score_floor]
+    return merged
+
+
+# agora: shard-safe
+def merge_scores(parts: Sequence[np.ndarray]) -> np.ndarray:
+    """Seq-ordered concatenation of per-shard score vectors.
+
+    Parts must arrive in placement order (shard covering the lowest
+    positions first); slice invariance makes the result bitwise equal to
+    the single-process score vector.
+    """
+    if not parts:
+        return np.zeros(0)
+    return np.concatenate([np.asarray(part, dtype=np.float64) for part in parts])
+
+
+# agora: shard-safe
+def merge_prune_stats(parts: Sequence[PruneStats]) -> PruneStats:
+    """Sum per-shard pruning counters into one stats record.
+
+    ``prunable`` holds iff every shard could prune (an unprunable query
+    is unprunable everywhere); ``domain_skipped`` iff every shard
+    skipped its whole range.  A single-part merge is the identity, so
+    domain-mode routing passes worker stats through unchanged.
+    """
+    if not parts:
+        return PruneStats()
+    return PruneStats(
+        candidates_total=sum(p.candidates_total for p in parts),
+        candidates_scored=sum(p.candidates_scored for p in parts),
+        chunks_total=sum(p.chunks_total for p in parts),
+        chunks_skipped=sum(p.chunks_skipped for p in parts),
+        prunable=all(p.prunable for p in parts),
+        domain_skipped=all(p.domain_skipped for p in parts),
+    )

@@ -1,0 +1,96 @@
+"""Critical-path cost model for sharded candidate scanning.
+
+Every benchmark in this repository reports *simulated* latency — the
+virtual-time cost model of :class:`repro.sources.source.InformationSource`
+(``STARTUP_TIME`` + ``PER_CANDIDATE_TIME`` per visible candidate), with
+parallel branches costing the maximum of their legs, not the sum.  The
+shard-scaling story follows the same discipline: this model prices a
+sharded rank as its critical path — the slowest shard's scan plus the
+per-worker dispatch and the coordinator's merge — so speedup curves are
+a deterministic function of pool size and shard count, reproducible on
+any machine (the CI box has no spare cores; wall-clock parallel speedup
+there would measure the scheduler, not the architecture).
+
+The defaults mirror the source cost constants so a 1-shard scan prices
+the same work as the in-process scan, plus explicit sharding overheads
+that keep the model honest: sharding is *not* free, and below a few
+hundred candidates the model correctly reports a slowdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+#: mirrors InformationSource.STARTUP_TIME
+DEFAULT_STARTUP_TIME = 0.05
+#: mirrors InformationSource.PER_CANDIDATE_TIME
+DEFAULT_PER_CANDIDATE_TIME = 0.002
+
+
+@dataclass(frozen=True)
+class ScanCostModel:
+    """Virtual-time cost of scanning ``n`` candidates over ``s`` shards.
+
+    Attributes
+    ----------
+    startup_time:
+        Fixed per-rank setup cost, paid once (coordinator side).
+    per_candidate_time:
+        Scan cost per candidate, paid by whichever worker scans it.
+    shard_overhead:
+        Per-rank cost of dispatching to and collecting from the worker
+        pool (request encode/decode, one round trip); paid once when any
+        sharding is used, covering all workers in parallel.
+    merge_per_item:
+        Coordinator-side merge cost per returned partial entry.
+    """
+
+    startup_time: float = DEFAULT_STARTUP_TIME
+    per_candidate_time: float = DEFAULT_PER_CANDIDATE_TIME
+    shard_overhead: float = 0.004
+    merge_per_item: float = 0.00002
+
+    def __post_init__(self) -> None:
+        for name in ("startup_time", "per_candidate_time",
+                     "shard_overhead", "merge_per_item"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    # agora: shard-safe
+    def rank_latency(self, n_candidates: int, n_shards: int = 1) -> float:
+        """Critical-path latency of one rank over ``n_candidates``.
+
+        ``n_shards == 1`` with zero-overhead semantics is the in-process
+        scan: startup plus the full sequential scan.  With sharding, the
+        scan runs as ``n_shards`` parallel legs (cost of the largest
+        slice), plus the dispatch overhead and the merge.
+        """
+        if n_candidates < 0:
+            raise ValueError("n_candidates must be non-negative")
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        if n_shards == 1:
+            return self.startup_time + self.per_candidate_time * n_candidates
+        largest_slice = -(-n_candidates // n_shards)  # ceil division
+        return (
+            self.startup_time
+            + self.shard_overhead
+            + self.per_candidate_time * largest_slice
+            + self.merge_per_item * n_candidates
+        )
+
+    # agora: shard-safe
+    def speedup(self, n_candidates: int, n_shards: int) -> float:
+        """Single-process latency over sharded latency (>1 is a win)."""
+        sharded = self.rank_latency(n_candidates, n_shards)
+        if sharded <= 0.0:
+            return float("inf")
+        return self.rank_latency(n_candidates, 1) / sharded
+
+    # agora: shard-safe
+    def speedup_curve(
+        self, n_candidates: int, shard_counts: Sequence[int]
+    ) -> Dict[int, float]:
+        """Speedup at each shard count (the bench figure series)."""
+        return {s: self.speedup(n_candidates, s) for s in shard_counts}

@@ -1,0 +1,650 @@
+"""A persistent spawn-based worker pool for sharded candidate scoring.
+
+Architecture (DESIGN.md §2h):
+
+- The coordinator owns a :class:`ShardPool` with an explicit
+  ``start``/``stop`` lifecycle.  ``start`` verifies the shard-safety
+  manifest (:mod:`repro.parallel.safety`), pickles the matching engine
+  once (metrics detached — workers keep their own registries), and
+  spawns ``n_shards`` daemon workers, each with a duplex pipe and a
+  :class:`~repro.obs.context.TraceContext` whose shard id namespaces its
+  span ids.
+- Candidate pools are **registered** under a key, either sliced across
+  every worker (engine-level fan-out) or placed whole on one worker
+  (domain mode).  Registration optionally exports the coordinator
+  block's dense matrices into shared memory so workers adopt read-only
+  views instead of re-deriving them.
+- **Ranks fan out** to the placements and merge deterministically
+  (:mod:`repro.parallel.merge`); per-candidate floats are bitwise what
+  the in-process path computes, so sharded == single-process output
+  exactly.
+- **Crashes degrade, never diverge**: the first definitive transport
+  failure (broken pipe / EOF) flips the pool into fallback mode and
+  every rank from then on is computed in-process on the coordinator's
+  mirror block — bitwise the same answers, just slower.  There are no
+  wall-clock timeouts anywhere (the determinism lint would reject them,
+  and a timeout would make "crashed or slow?" machine-dependent).
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from multiprocessing.connection import Connection
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.items import InformationItem
+from repro.obs.aggregate import ShardSnapshot, snapshot_shard
+from repro.obs.context import TraceContext, derive_trace_id
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanTracer
+from repro.parallel.merge import (
+    RankPartial,
+    merge_prune_stats,
+    merge_ranked,
+    merge_scores,
+)
+from repro.parallel.safety import verify_worker_roots
+from repro.parallel.shards import Placement, single_placement, slice_placements
+from repro.parallel.shm import AttachedArray, SharedArraySpec, ShmArena
+from repro.uncertainty.matching import CandidateBlock, MatchingEngine
+from repro.uncertainty.pruning import PruneStats
+
+#: Transport failures that definitively mean "the worker is gone".
+_CRASH_ERRORS = (EOFError, BrokenPipeError, ConnectionResetError, OSError)
+
+
+@dataclass(frozen=True)
+class _BlockExport:
+    """Picklable description of a parent block's shared dense matrices."""
+
+    media: Optional[SharedArraySpec]
+    lift: Optional[SharedArraySpec]
+    norms: Optional[SharedArraySpec]
+    media_positions: Tuple[int, ...]
+    noncompound_positions: Tuple[int, ...]
+
+    def specs(self) -> List[SharedArraySpec]:
+        """Every non-empty segment spec in this export."""
+        return [s for s in (self.media, self.lift, self.norms) if s is not None]
+
+
+@dataclass
+class _WorkerEntry:
+    """Worker-side state for one registered key."""
+
+    block: CandidateBlock
+    start: int
+    pos_by_id: Dict[str, int]
+    attachments: List[AttachedArray] = field(default_factory=list)
+
+    def close_attachments(self) -> None:
+        for attachment in self.attachments:
+            attachment.close()
+        self.attachments = []
+
+
+def _adopt_export(
+    entry: _WorkerEntry, export: _BlockExport, stop: int
+) -> None:
+    """Install the worker's row ranges of the parent's shared matrices.
+
+    Row ranges come from bisecting the parent's partition position lists
+    with the worker's ``[start, stop)`` slice; the resulting views are
+    bitwise the rows the worker would have derived itself, because every
+    per-item vector is a pure function of the item.
+    """
+    start = entry.start
+    if export.media is not None:
+        lo = bisect_left(export.media_positions, start)
+        hi = bisect_left(export.media_positions, stop)
+        view = AttachedArray(export.media)
+        entry.attachments.append(view)
+        entry.block.install_dense(view.array[lo:hi], None, None)
+    if export.lift is not None and export.norms is not None:
+        lo = bisect_left(export.noncompound_positions, start)
+        hi = bisect_left(export.noncompound_positions, stop)
+        lift_view = AttachedArray(export.lift)
+        norms_view = AttachedArray(export.norms)
+        entry.attachments.extend([lift_view, norms_view])
+        entry.block.install_dense(
+            None, lift_view.array[lo:hi], norms_view.array[lo:hi]
+        )
+
+
+def _index_items(items: Sequence[InformationItem], start: int = 0) -> Dict[str, int]:
+    return {item.item_id: start + offset for offset, item in enumerate(items)}
+
+
+def _worker_main(
+    conn: Connection, engine_blob: bytes, context_payload: Dict[str, Any]
+) -> None:
+    """Worker entry point (top-level so ``spawn`` can pickle it)."""
+    engine: MatchingEngine = pickle.loads(engine_blob)
+    registry = MetricsRegistry()
+    engine.attach_metrics(registry)
+    context = TraceContext.from_dict(context_payload)
+    clock = {"now": 0.0}
+    tracer = SpanTracer()
+    tracer.bind_clock(lambda: clock["now"])
+    tracer.attach(context)
+    entries: Dict[str, _WorkerEntry] = {}
+    requests = 0
+    while True:
+        try:
+            message = conn.recv()
+        except _CRASH_ERRORS:
+            break
+        kind = message[0]
+        try:
+            if kind == "stop":
+                conn.send(("ok", None))
+                break
+            if kind == "register":
+                __, key, items, start, stop, export = message
+                previous = entries.pop(key, None)
+                if previous is not None:
+                    previous.close_attachments()
+                entry = _WorkerEntry(
+                    block=engine.prepare(items),
+                    start=start,
+                    pos_by_id=_index_items(items, start),
+                )
+                if export is not None:
+                    _adopt_export(entry, export, stop)
+                entries[key] = entry
+                conn.send(("ok", None))
+            elif kind == "extend":
+                __, key, new_items = message
+                entry = entries[key]
+                entry.pos_by_id.update(
+                    _index_items(new_items, entry.start + len(entry.block))
+                )
+                entry.block.extend(new_items)
+                conn.send(("ok", None))
+            elif kind == "rank":
+                __, key, payload = message
+                entry = entries[key]
+                requests += 1
+                clock["now"] = payload["now"]
+                mode = payload["mode"]
+                with tracer.span(
+                    "shard-rank", key=key, mode=mode, limit=payload["limit"]
+                ) as span:
+                    if mode == "topk":
+                        pairs, stats = engine.rank_block_topk(
+                            payload["query"],
+                            entry.block,
+                            payload["k"],
+                            limit=payload["limit"],
+                            score_floor=payload["floor"],
+                        )
+                        partial = [
+                            (entry.pos_by_id[item.item_id], score)
+                            for item, score in pairs
+                        ]
+                        span.annotate(
+                            returned=len(partial), scored=stats.candidates_scored
+                        )
+                        conn.send(("ok", (partial, stats)))
+                    else:  # "score": the raw vector; rank merges coordinator-side
+                        scores = entry.block.score(
+                            payload["query"], limit=payload["limit"]
+                        )
+                        span.annotate(returned=int(scores.shape[0]))
+                        conn.send(("ok", scores))
+            elif kind == "snapshot":
+                snapshot = snapshot_shard(
+                    context.shard_id,
+                    registry,
+                    tracer=tracer,
+                    sim_time=clock["now"],
+                    event_count=requests,
+                )
+                conn.send(("ok", snapshot.to_dict()))
+            else:
+                conn.send(("err", f"unknown message kind {kind!r}"))
+        except Exception:
+            conn.send(("err", traceback.format_exc()))
+    for key in sorted(entries):
+        entries[key].close_attachments()
+    conn.close()
+
+
+@dataclass
+class _KeyState:
+    """Coordinator-side state for one registered key."""
+
+    items: List[InformationItem]
+    placements: List[Placement]
+    share: bool
+    block: Optional[CandidateBlock] = None
+    export: Optional[_BlockExport] = None
+
+    def mirror_block(self, engine: MatchingEngine) -> CandidateBlock:
+        """The coordinator's own block over the full pool (lazy)."""
+        if self.block is None:
+            self.block = engine.prepare(self.items)
+        return self.block
+
+
+@dataclass
+class _WorkerHandle:
+    process: Any
+    conn: Connection
+    alive: bool = True
+
+
+class ShardPool:
+    """Explicitly managed pool of scoring workers.
+
+    Parameters
+    ----------
+    engine:
+        The coordinator's matching engine.  Workers receive a pickled
+        copy (metrics detached) at spawn; worker-side derived-state
+        caches warm up independently and deterministically.
+    n_shards:
+        Number of worker processes.
+    seed:
+        Seed folded into the pool's trace id, so per-shard spans of two
+        same-seed runs align.
+    manifest_path:
+        Shard-safety manifest location (default: repo root).  Pool
+        construction fails with
+        :class:`~repro.parallel.safety.ShardSafetyError` unless every
+        worker root is certified PURE/READS_SHARED.
+    trace_scope:
+        Scope string for the derived trace id.
+    """
+
+    def __init__(
+        self,
+        engine: MatchingEngine,
+        n_shards: int,
+        seed: int = 0,
+        manifest_path: Optional[Union[str, Path]] = None,
+        trace_scope: str = "shard-pool",
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        verify_worker_roots(manifest_path)
+        self.engine = engine
+        self.n_shards = n_shards
+        self.seed = seed
+        self.trace_id = derive_trace_id(seed, scope=trace_scope)
+        self.fallbacks = 0
+        self._workers: List[_WorkerHandle] = []
+        self._keys: Dict[str, _KeyState] = {}
+        self._arena: Optional[ShmArena] = None
+        self._started = False
+        self._degraded = False
+
+    # -- lifecycle -------------------------------------------------------
+    @property
+    def started(self) -> bool:
+        """Whether the pool has live (or once-live) workers."""
+        return self._started
+
+    @property
+    def degraded(self) -> bool:
+        """Whether a worker crash has forced in-process fallback."""
+        return self._degraded
+
+    def start(self) -> "ShardPool":
+        """Spawn the workers (idempotent)."""
+        if self._started:
+            return self
+        spawn = get_context("spawn")
+        engine_blob = self._pickle_engine()
+        self._arena = ShmArena()
+        for index in range(self.n_shards):
+            parent_conn, child_conn = spawn.Pipe(duplex=True)
+            context = TraceContext(trace_id=self.trace_id, shard_id=index + 1)
+            process = spawn.Process(
+                target=_worker_main,
+                args=(child_conn, engine_blob, context.to_dict()),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(_WorkerHandle(process=process, conn=parent_conn))
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Stop workers and unlink every shared segment (idempotent)."""
+        for handle in self._workers:
+            if handle.alive:
+                try:
+                    handle.conn.send(("stop", None))
+                    handle.conn.recv()
+                except _CRASH_ERRORS:
+                    pass
+            handle.conn.close()
+            handle.process.join(timeout=10)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=10)
+        self._workers = []
+        if self._arena is not None:
+            self._arena.close_and_unlink()
+            self._arena = None
+        self._started = False
+
+    def __enter__(self) -> "ShardPool":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def _pickle_engine(self) -> bytes:
+        metrics = self.engine._metrics
+        self.engine.attach_metrics(None)
+        try:
+            return pickle.dumps(self.engine)
+        finally:
+            self.engine.attach_metrics(metrics)
+
+    # -- registration ----------------------------------------------------
+    def register(
+        self,
+        key: str,
+        items: Sequence[InformationItem],
+        worker: Optional[int] = None,
+        share: bool = True,
+    ) -> None:
+        """Register a candidate pool under ``key``.
+
+        ``worker=None`` slices the pool across every worker (engine-level
+        fan-out); ``worker=i`` places it whole on worker ``i`` (domain
+        mode).  With ``share=True`` the coordinator block's dense
+        matrices are exported through shared memory and workers adopt
+        read-only row views.  Re-registering a key replaces it (and
+        retires its old segments).
+        """
+        self._require_started()
+        pool = list(items)
+        if worker is None:
+            placements = slice_placements(len(pool), self.n_shards)
+        else:
+            if not 0 <= worker < self.n_shards:
+                raise ValueError(f"worker index {worker} out of range")
+            placements = single_placement(len(pool), worker)
+        state = _KeyState(items=pool, placements=placements, share=share)
+        if share:
+            state.export = self._export_block(state)
+        previous = self._keys.get(key)
+        self._keys[key] = state
+        if not self._degraded:
+            for placement in placements:
+                self._request(
+                    placement.worker,
+                    (
+                        "register",
+                        key,
+                        pool[placement.start:placement.stop],
+                        placement.start,
+                        placement.stop,
+                        state.export,
+                    ),
+                )
+        if previous is not None and previous.export is not None:
+            # Workers have re-attached (or the pool is degraded and they
+            # no longer matter); the old segments can go now.
+            if self._arena is not None:
+                self._arena.release(previous.export.specs())
+
+    def _export_block(self, state: _KeyState) -> Optional[_BlockExport]:
+        """Build the mirror block and share its dense matrices."""
+        if self._arena is None:
+            return None
+        block = state.mirror_block(self.engine)
+        try:
+            media, lift, norms = block.dense_stack()
+        except RuntimeError:
+            # e.g. an unfitted lifter over a media pool: the in-process
+            # path would fail identically at first cross-type score, so
+            # just skip sharing and let workers derive (or fail) locally.
+            return None
+        return _BlockExport(
+            media=self._arena.share(media),
+            lift=self._arena.share(lift),
+            norms=self._arena.share(norms),
+            media_positions=tuple(block.media_positions()),
+            noncompound_positions=tuple(block.noncompound_positions()),
+        )
+
+    def extend(self, key: str, new_items: Sequence[InformationItem]) -> None:
+        """Append live-ingested items to a registered pool.
+
+        The appended run extends the final placement (contiguity is what
+        matters for parity, not balance).  Workers drop any adopted
+        dense views for the key and rebuild locally — re-deriving the
+        identical floats.
+        """
+        self._require_started()
+        state = self._keys[key]
+        delta = list(new_items)
+        if not delta:
+            return
+        state.items.extend(delta)
+        last = state.placements[-1]
+        state.placements[-1] = Placement(
+            worker=last.worker, start=last.start, stop=last.stop + len(delta)
+        )
+        if state.block is not None:
+            state.block.extend(delta)
+        if not self._degraded:
+            self._request(last.worker, ("extend", key, delta))
+
+    def registered(self, key: str) -> bool:
+        """Whether ``key`` has a registered pool."""
+        return key in self._keys
+
+    def pool_size(self, key: str) -> int:
+        """Number of items registered under ``key``."""
+        return len(self._keys[key].items)
+
+    # -- ranking ---------------------------------------------------------
+    def rank(
+        self,
+        key: str,
+        query: InformationItem,
+        limit: Optional[int] = None,
+        now: float = 0.0,
+    ) -> List[Tuple[InformationItem, float]]:
+        """Full rank over the first ``limit`` candidates of ``key``.
+
+        Bitwise equal to ``engine.rank_block(query, block, limit)`` over
+        the coordinator's mirror block.
+        """
+        self._require_started()
+        state = self._keys[key]
+        n = self._clamp(state, limit)
+        parts = self._fan_scores(state, key, query, n, now)
+        if parts is None:
+            self.fallbacks += 1
+            return self.engine.rank_block(
+                query, state.mirror_block(self.engine), limit=n
+            )
+        scores = merge_scores(parts)
+        pairs = [
+            (item, float(score)) for item, score in zip(state.items[:n], scores)
+        ]
+        pairs.sort(key=lambda pair: (-pair[1], pair[0].item_id))
+        return pairs
+
+    def rank_topk(
+        self,
+        key: str,
+        query: InformationItem,
+        k: int,
+        limit: Optional[int] = None,
+        score_floor: float = 0.0,
+        now: float = 0.0,
+    ) -> Tuple[List[Tuple[InformationItem, float]], PruneStats]:
+        """Pruned top-k over ``key``; bitwise equal to the in-process path."""
+        self._require_started()
+        state = self._keys[key]
+        n = self._clamp(state, limit)
+        requests: List[Tuple[int, Tuple[Any, ...]]] = []
+        for placement in state.placements:
+            local_limit = min(placement.stop, n) - placement.start
+            if local_limit <= 0:
+                continue
+            payload = {
+                "mode": "topk",
+                "query": query,
+                "k": k,
+                "limit": local_limit,
+                "floor": score_floor,
+                "now": now,
+            }
+            requests.append((placement.worker, ("rank", key, payload)))
+        replies = self._fan_out(requests)
+        if replies is None:
+            self.fallbacks += 1
+            return self.engine.rank_block_topk(
+                query,
+                state.mirror_block(self.engine),
+                k,
+                limit=n,
+                score_floor=score_floor,
+            )
+        partials: List[RankPartial] = [reply[0] for reply in replies]
+        stats = merge_prune_stats([reply[1] for reply in replies])
+        if not replies:
+            # Zero-candidate rank: mirror the in-process empty result.
+            stats = PruneStats(candidates_total=max(n, 0))
+        merged = merge_ranked(state.items, partials, k=k, score_floor=score_floor)
+        return merged, stats
+
+    def score_many(
+        self,
+        key: str,
+        query: InformationItem,
+        limit: Optional[int] = None,
+        now: float = 0.0,
+    ) -> np.ndarray:
+        """Score vector over the first ``limit`` candidates of ``key``."""
+        self._require_started()
+        state = self._keys[key]
+        n = self._clamp(state, limit)
+        parts = self._fan_scores(state, key, query, n, now)
+        if parts is None:
+            self.fallbacks += 1
+            return state.mirror_block(self.engine).score(query, limit=n)
+        return merge_scores(parts)
+
+    def _fan_scores(
+        self,
+        state: _KeyState,
+        key: str,
+        query: InformationItem,
+        n: int,
+        now: float,
+    ) -> Optional[List[np.ndarray]]:
+        requests: List[Tuple[int, Tuple[Any, ...]]] = []
+        for placement in state.placements:
+            local_limit = min(placement.stop, n) - placement.start
+            if local_limit <= 0:
+                continue
+            payload = {
+                "mode": "score",
+                "query": query,
+                "limit": local_limit,
+                "now": now,
+            }
+            requests.append((placement.worker, ("rank", key, payload)))
+        return self._fan_out(requests)
+
+    @staticmethod
+    def _clamp(state: _KeyState, limit: Optional[int]) -> int:
+        n = len(state.items)
+        return n if limit is None else max(0, min(limit, n))
+
+    # -- telemetry -------------------------------------------------------
+    def snapshots(self) -> List[ShardSnapshot]:
+        """Per-worker telemetry snapshots (live workers only).
+
+        Merge them — together with the coordinator's own snapshot — via
+        :func:`repro.obs.aggregate.merge_snapshots`.
+        """
+        self._require_started()
+        snapshots: List[ShardSnapshot] = []
+        if self._degraded:
+            return snapshots
+        for index in range(self.n_shards):
+            payload = self._request(index, ("snapshot", None))
+            if payload is not _CRASHED and payload is not None:
+                snapshots.append(ShardSnapshot.from_dict(payload))
+        return snapshots
+
+    # -- transport -------------------------------------------------------
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError("ShardPool is not started (call start() first)")
+
+    def _request(self, worker: int, message: Tuple[Any, ...]) -> Any:
+        """One round trip to one worker; ``_CRASHED`` on transport death."""
+        replies = self._fan_out([(worker, message)])
+        if replies is None:
+            return _CRASHED
+        return replies[0]
+
+    def _fan_out(
+        self, requests: List[Tuple[int, Tuple[Any, ...]]]
+    ) -> Optional[List[Any]]:
+        """Send every request, then collect every reply in request order.
+
+        Returns ``None`` when any involved worker is (or turns out to
+        be) dead — the caller falls back in-process.  A worker that
+        *replies* with an error is a bug, not a crash: that raises.
+        """
+        if self._degraded:
+            return None
+        sent: List[int] = []
+        for worker, message in requests:
+            handle = self._workers[worker]
+            if not handle.alive or not handle.process.is_alive():
+                self._mark_degraded(worker)
+                break
+            try:
+                handle.conn.send(message)
+            except _CRASH_ERRORS:
+                self._mark_degraded(worker)
+                break
+            sent.append(worker)
+        replies: List[Any] = []
+        for worker in sent:
+            handle = self._workers[worker]
+            try:
+                status, value = handle.conn.recv()
+            except _CRASH_ERRORS:
+                self._mark_degraded(worker)
+                continue
+            if status == "err":
+                raise RuntimeError(
+                    f"shard worker {worker} failed:\n{value}"
+                )
+            replies.append(value)
+        if self._degraded or len(replies) != len(requests):
+            return None
+        return replies
+
+    def _mark_degraded(self, worker: int) -> None:
+        """Record a definitive worker death; the pool stays degraded."""
+        self._degraded = True
+        handle = self._workers[worker]
+        handle.alive = False
+
+
+#: Sentinel for "the worker transport is dead".
+_CRASHED = object()

@@ -1,0 +1,74 @@
+"""Shard-safety gate: only certified code may run in worker processes.
+
+PR 7's interprocedural effect analysis certifies, per function, whether
+its transitive effect footprint is compatible with running on a shard
+(``PURE`` / ``READS_SHARED``) or not (``WRITES_SHARED`` / ``UNSAFE`` /
+``UNKNOWN``), and commits the verdicts to ``shard_safety.json``.  The
+pool cashes that certificate in: :func:`verify_worker_roots` loads the
+manifest at **pool construction** and refuses to build a pool whose
+worker entry points are not certified — a regression that makes
+``rank_block`` write shared state fails fast at the constructor, not as
+a heisenbug three layers into a sharded run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.analysis.effects.manifest import ShardSafetyManifest
+
+#: The functions the pool's workers execute on behalf of the
+#: coordinator.  Everything a worker does per request reduces to these
+#: roots (block preparation included — ``prepare`` builds the worker's
+#: slice block).
+WORKER_ROOTS: Tuple[str, ...] = (
+    "repro.uncertainty.matching.MatchingEngine.prepare",
+    "repro.uncertainty.matching.MatchingEngine.rank_block",
+    "repro.uncertainty.matching.MatchingEngine.rank_block_topk",
+    "repro.uncertainty.matching.MatchingEngine.score_many",
+    "repro.uncertainty.matching.CandidateBlock.score",
+    "repro.uncertainty.matching.CandidateBlock.score_range",
+)
+
+#: Verdicts that permit worker-side execution.
+SHARD_SAFE_VERDICTS = frozenset({"PURE", "READS_SHARED"})
+
+
+class ShardSafetyError(RuntimeError):
+    """A worker entry point is not certified shard-safe."""
+
+
+def default_manifest_path() -> Path:
+    """The repo-root ``shard_safety.json`` (relative to this source tree)."""
+    return Path(__file__).resolve().parents[3] / "shard_safety.json"
+
+
+def verify_worker_roots(
+    manifest_path: Optional[Union[str, Path]] = None,
+    roots: Sequence[str] = WORKER_ROOTS,
+) -> ShardSafetyManifest:
+    """Load the manifest and certify every worker root, or raise.
+
+    Returns the loaded manifest so callers can record its digest.
+    Raises :class:`ShardSafetyError` when the manifest is missing or any
+    root's verdict is absent or outside :data:`SHARD_SAFE_VERDICTS`.
+    """
+    path = Path(manifest_path) if manifest_path is not None else default_manifest_path()
+    if not path.is_file():
+        raise ShardSafetyError(
+            f"shard-safety manifest not found at {path}; regenerate it with "
+            "`python -m repro.analysis effects src/repro --manifest shard_safety.json`"
+        )
+    manifest = ShardSafetyManifest.load(path)
+    offenders = []
+    for qualname in roots:
+        verdict = manifest.verdict(qualname)
+        if verdict not in SHARD_SAFE_VERDICTS:
+            offenders.append(f"{qualname} (verdict: {verdict or 'missing'})")
+    if offenders:
+        raise ShardSafetyError(
+            "refusing to build a shard pool: uncertified worker roots:\n  "
+            + "\n  ".join(offenders)
+        )
+    return manifest

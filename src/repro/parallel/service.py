@@ -1,0 +1,132 @@
+"""Domain-sharded rank service bridging sources to the shard pool.
+
+:class:`ParallelRankService` is what the agora hands to the retrieve
+path: sources keep owning their per-domain candidate blocks (live ingest
+appends to them between queries), and the service mirrors each block
+into the pool on demand — registering it whole on its domain's worker
+the first time it is seen, then shipping only the appended tail on later
+queries.  Block identity is tracked with an explicit token counter
+stamped on the block (``_parallel_token``), *not* ``id()``: a rebuilt
+block can land at a recycled address, but it never carries a token the
+service minted for its predecessor.
+
+Every entry point returns ``None`` when the pool cannot serve (not
+started, or degraded by a worker crash *during this call*), and the
+source falls back to its own in-process scoring — which is bitwise the
+same answer, so degradation never changes results, only telemetry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.data.items import InformationItem
+from repro.parallel.pool import ShardPool
+from repro.parallel.shards import partition_domains, stable_worker_for
+from repro.uncertainty.matching import CandidateBlock
+from repro.uncertainty.pruning import PruneStats
+
+#: Attribute stamped on mirrored blocks to detect rebuilds.
+_TOKEN_ATTR = "_parallel_token"
+
+
+class ParallelRankService:
+    """Routes per-domain rank requests through a :class:`ShardPool`."""
+
+    def __init__(self, pool: ShardPool) -> None:
+        self._pool = pool
+        self._domain_worker: Dict[str, int] = {}
+        #: key -> (block token, number of items already mirrored)
+        self._synced: Dict[str, Tuple[int, int]] = {}
+        self._next_token = 0
+
+    @property
+    def pool(self) -> ShardPool:
+        """The underlying worker pool."""
+        return self._pool
+
+    @property
+    def active(self) -> bool:
+        """Whether requests can currently be served by workers."""
+        return self._pool.started and not self._pool.degraded
+
+    def assign_domains(self, domains: List[str]) -> None:
+        """Fix the domain → worker placement (round-robin, sorted)."""
+        self._domain_worker = partition_domains(domains, self._pool.n_shards)
+
+    def worker_for(self, domain: Optional[str]) -> int:
+        """Worker owning ``domain`` (stable hash for unassigned ones)."""
+        name = domain if domain is not None else ""
+        assigned = self._domain_worker.get(name)
+        if assigned is not None:
+            return assigned
+        return stable_worker_for(name, self._pool.n_shards)
+
+    # -- block mirroring -------------------------------------------------
+    def _sync(self, key: str, domain: Optional[str], block: CandidateBlock) -> None:
+        """Bring the pool's mirror of ``block`` up to date.
+
+        A block the service has never stamped (or a rebuilt replacement)
+        is registered from scratch; a stamped block that only grew ships
+        its appended tail.  Shrinking is impossible by construction —
+        sources rebuild (new object) rather than remove.
+        """
+        token = getattr(block, _TOKEN_ATTR, None)
+        recorded = self._synced.get(key)
+        if token is None or recorded is None or recorded[0] != token:
+            token = self._next_token
+            self._next_token += 1
+            setattr(block, _TOKEN_ATTR, token)
+            self._pool.register(
+                key, list(block.items), worker=self.worker_for(domain)
+            )
+            self._synced[key] = (token, len(block))
+            return
+        mirrored = recorded[1]
+        if len(block) > mirrored:
+            self._pool.extend(key, block.items[mirrored:])
+            self._synced[key] = (token, len(block))
+
+    @staticmethod
+    def _key(source_id: str, domain: Optional[str]) -> str:
+        return f"{source_id}/{domain if domain is not None else '*'}"
+
+    # -- rank entry points -----------------------------------------------
+    def rank_block_topk(
+        self,
+        source_id: str,
+        domain: Optional[str],
+        block: CandidateBlock,
+        query: InformationItem,
+        k: int,
+        limit: Optional[int] = None,
+        score_floor: float = 0.0,
+        now: float = 0.0,
+    ) -> Optional[Tuple[List[Tuple[InformationItem, float]], PruneStats]]:
+        """Sharded ``rank_block_topk`` or ``None`` when unavailable."""
+        if not self.active:
+            return None
+        key = self._key(source_id, domain)
+        self._sync(key, domain, block)
+        # If a worker crashes during this call the pool computes the
+        # in-process fallback itself (bitwise the same answer); ``active``
+        # turns False afterwards, so later requests skip the pool entirely.
+        return self._pool.rank_topk(
+            key, query, k, limit=limit, score_floor=score_floor, now=now
+        )
+
+    def rank_block(
+        self,
+        source_id: str,
+        domain: Optional[str],
+        block: CandidateBlock,
+        query: InformationItem,
+        limit: Optional[int] = None,
+        now: float = 0.0,
+    ) -> Optional[List[Tuple[InformationItem, float]]]:
+        """Sharded full ``rank_block`` or ``None`` when unavailable."""
+        if not self.active:
+            return None
+        key = self._key(source_id, domain)
+        self._sync(key, domain, block)
+        return self._pool.rank(key, query, limit=limit, now=now)

@@ -1,0 +1,116 @@
+"""Deterministic partitioning of candidate pools and domains onto shards.
+
+Two placement modes, both pure functions of their inputs:
+
+- **slice mode** — one candidate pool split into ``n_shards`` contiguous
+  ranges (:func:`slice_ranges`), one range per worker.  Used by the
+  engine-level fan-out (``ShardPool.rank``/``rank_topk``/``score_many``):
+  every worker scores its slice of the same pool.
+- **domain mode** — the registry's domains distributed round-robin over
+  sorted domain names (:func:`partition_domains`), so each worker owns
+  whole domains.  Used by the agora's per-source rank routing: one
+  source×domain block lives entirely on one worker.
+
+Determinism matters more than balance here: the same inputs must place
+the same items on the same shards in every run, or two same-seed runs
+could not be compared bitwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+# agora: shard-safe
+def slice_ranges(n_items: int, n_shards: int) -> List[Tuple[int, int]]:
+    """Split ``[0, n_items)`` into ``n_shards`` contiguous ranges.
+
+    The first ``n_items % n_shards`` ranges get one extra item, so sizes
+    differ by at most one.  Empty ranges are kept (a worker with nothing
+    to do still gets a well-defined ``(start, start)`` range), which
+    keeps worker indexing positional.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    base, extra = divmod(n_items, n_shards)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for shard in range(n_shards):
+        width = base + (1 if shard < extra else 0)
+        ranges.append((start, start + width))
+        start += width
+    return ranges
+
+
+# agora: shard-safe
+def partition_domains(domains: Sequence[str], n_shards: int) -> Dict[str, int]:
+    """Assign each domain a worker index, round-robin over sorted names.
+
+    Sorting first makes the assignment independent of input order; the
+    round-robin spreads domains evenly.  Workers are indexed ``0 ..
+    n_shards - 1``.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    return {
+        domain: index % n_shards
+        for index, domain in enumerate(sorted(set(domains)))
+    }
+
+
+# agora: shard-safe
+def stable_worker_for(name: str, n_shards: int) -> int:
+    """A deterministic worker index for a name outside any partition map.
+
+    SHA-256 of the name modulo the shard count: stable across runs,
+    platforms and ``PYTHONHASHSEED`` — used for domains that appear after
+    the initial partition (e.g. the whole-collection ``None`` bucket).
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be >= 1")
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little") % n_shards
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one contiguous run of a registered pool lives.
+
+    ``worker`` holds pool positions ``[start, stop)``; positions are
+    global (coordinator-side) indices, so merged partial results can be
+    mapped straight back to items.
+    """
+
+    worker: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError("worker must be non-negative")
+        if not 0 <= self.start <= self.stop:
+            raise ValueError("need 0 <= start <= stop")
+
+    @property
+    def width(self) -> int:
+        """Number of pool positions this placement covers."""
+        return self.stop - self.start
+
+
+# agora: shard-safe
+def slice_placements(n_items: int, n_shards: int) -> List[Placement]:
+    """Slice-mode placements: one contiguous range per worker."""
+    return [
+        Placement(worker=index, start=start, stop=stop)
+        for index, (start, stop) in enumerate(slice_ranges(n_items, n_shards))
+    ]
+
+
+# agora: shard-safe
+def single_placement(n_items: int, worker: int) -> List[Placement]:
+    """Domain-mode placement: the whole pool on one worker."""
+    return [Placement(worker=worker, start=0, stop=n_items)]

@@ -1,0 +1,203 @@
+"""Shared-memory float64 matrices for zero-copy worker scoring.
+
+Ownership rules (documented in DESIGN.md §2h and enforced here):
+
+- The **coordinator** creates every segment, via one :class:`ShmArena`
+  per pool, and is the only process that ever *unlinks*.  Segments are
+  unlinked at pool shutdown and — belt and braces — by an ``atexit``
+  hook, so a worker crash or an aborted run cannot leak ``/dev/shm``
+  entries past coordinator exit.
+- **Workers** only attach.  Attachment goes through
+  :func:`attach_segment`, which keeps the child's
+  ``multiprocessing.resource_tracker`` out of the loop (on Python < 3.13
+  by unregistering right after attach): the tracker would otherwise
+  unlink segments it merely attached to when the worker exits, yanking
+  them out from under every sibling.
+- Views handed to scoring code are **read-only** (``writeable=False``):
+  a worker cannot corrupt shared state even by accident, which is what
+  lets READS_SHARED-certified functions run against these matrices.
+
+Segment names are ``agora-shm-<pid>-<n>`` — the creating coordinator's
+pid plus a process-wide counter — so concurrent runs never collide and a
+test teardown can assert no ``agora-shm-*`` entries survive the suite.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Prefix of every segment this module creates.
+SEGMENT_PREFIX = "agora-shm-"
+
+#: Process-wide name counter: several arenas can coexist in one
+#: coordinator (e.g. two pools in one test session) and must never mint
+#: the same ``agora-shm-<pid>-<n>`` name while both are alive.
+_NAME_COUNTER = itertools.count()
+
+#: Where POSIX shared memory is visible as files (Linux).
+DEV_SHM = Path("/dev/shm")
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """A picklable handle to one shared float64 array.
+
+    Workers rebuild the ndarray view from the segment name and shape;
+    dtype is fixed to little-endian float64 so the byte layout is
+    unambiguous across processes.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+
+    @property
+    def n_bytes(self) -> int:
+        """Size of the array payload in bytes."""
+        count = 1
+        for dim in self.shape:
+            count *= dim
+        return count * 8
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without adopting its lifecycle.
+
+    Python 3.13 grew ``track=False`` for exactly this; on older versions
+    registration is suppressed for the duration of the attach instead.
+    (Attach-then-``unregister`` would be wrong here: spawned workers
+    share the coordinator's tracker process, and the unregister message
+    would delete the *coordinator's* registration of the same name —
+    cpython#82300 — leaving the segment untracked in the one process
+    that owns cleanup.)
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # type: ignore[call-arg]
+    except TypeError:
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register  # type: ignore[assignment]
+
+
+class AttachedArray:
+    """A worker-side read-only view over one shared array.
+
+    Keeps the :class:`SharedMemory` handle alive for as long as the view
+    is in use; :meth:`close` drops the mapping (never unlinks).
+    """
+
+    def __init__(self, spec: SharedArraySpec) -> None:
+        self._segment = attach_segment(spec.name)
+        view = np.ndarray(
+            spec.shape, dtype="<f8", buffer=self._segment.buf
+        )
+        view.flags.writeable = False
+        self.array = view
+
+    def close(self) -> None:
+        """Release the mapping (safe to call more than once)."""
+        if self._segment is not None:
+            # Drop the numpy view first: closing a SharedMemory with live
+            # exported buffers raises on some platforms.
+            self.array = np.zeros(0)
+            self._segment.close()
+            self._segment = None  # type: ignore[assignment]
+
+
+class ShmArena:
+    """Coordinator-owned registry of shared segments with one lifecycle.
+
+    Create arrays with :meth:`share`; destroy everything with
+    :meth:`close_and_unlink`.  The arena registers an ``atexit`` hook at
+    construction, so segments cannot outlive the coordinator process
+    even on an unclean shutdown path.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._closed = False
+        atexit.register(self.close_and_unlink)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def share(self, array: np.ndarray) -> Optional[SharedArraySpec]:
+        """Copy ``array`` into a fresh shared segment; return its spec.
+
+        Returns ``None`` for empty arrays — nothing to share, and
+        zero-byte segments are illegal anyway.  The copy is the only
+        write the segment ever sees; every later view is read-only.
+        """
+        if self._closed:
+            raise RuntimeError("arena is closed")
+        source = np.ascontiguousarray(array, dtype="<f8")
+        if source.size == 0:
+            return None
+        name = f"{SEGMENT_PREFIX}{os.getpid()}-{next(_NAME_COUNTER)}"
+        segment = shared_memory.SharedMemory(
+            name=name, create=True, size=source.nbytes
+        )
+        staging = np.ndarray(source.shape, dtype="<f8", buffer=segment.buf)
+        staging[...] = source
+        self._segments.append(segment)
+        return SharedArraySpec(name=name, shape=tuple(source.shape))
+
+    def release(self, specs: Sequence[SharedArraySpec]) -> None:
+        """Unlink the named segments now (e.g. after a key re-register).
+
+        Safe while workers still hold old attachments: POSIX keeps a
+        mapped segment alive until the last attachment closes; unlink
+        only removes the name.  Callers must therefore release old specs
+        only after workers have attached their replacements.
+        """
+        names = {spec.name for spec in specs}
+        kept: List[shared_memory.SharedMemory] = []
+        for segment in self._segments:
+            if segment.name in names:
+                try:
+                    segment.close()
+                    segment.unlink()
+                except FileNotFoundError:
+                    pass  # already gone; releasing twice is not an error
+            else:
+                kept.append(segment)
+        self._segments = kept
+
+    def close_and_unlink(self) -> None:
+        """Unlink every segment this arena created (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        atexit.unregister(self.close_and_unlink)
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked (e.g. by a previous partial cleanup)
+        self._segments.clear()
+
+
+def leaked_segments() -> List[str]:
+    """Names of ``agora-shm-*`` segments currently visible in /dev/shm.
+
+    Empty on platforms without a /dev/shm filesystem; the leak-check
+    fixture treats that as "nothing to assert".
+    """
+    if not DEV_SHM.is_dir():
+        return []
+    return sorted(
+        entry.name
+        for entry in DEV_SHM.iterdir()
+        if entry.name.startswith(SEGMENT_PREFIX)
+    )

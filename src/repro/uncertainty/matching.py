@@ -513,6 +513,57 @@ class CandidateBlock:
             )
         return self._lift_matrix, self._lift_norms
 
+    # -- dense-view sharing (repro.parallel) -----------------------------
+    def dense_stack(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Force-build and return the stacked dense matrices.
+
+        Returns ``(media_matrix, lift_matrix, lift_norms)`` aligned with
+        :meth:`media_positions` / :meth:`noncompound_positions`.  The
+        parallel layer copies these into shared memory so worker
+        processes can score without re-deriving per-item state.
+        """
+        media = self._media_rows()
+        lift_matrix, lift_norms = self._lift_rows()
+        return media, lift_matrix, lift_norms
+
+    def media_positions(self) -> List[int]:
+        """Pool positions of the media partition (ascending)."""
+        return list(self._media_positions)
+
+    def noncompound_positions(self) -> List[int]:
+        """Pool positions of the non-compound partition (ascending)."""
+        return list(self._noncompound_positions)
+
+    def install_dense(
+        self,
+        media_matrix: Optional[np.ndarray],
+        lift_matrix: Optional[np.ndarray],
+        lift_norms: Optional[np.ndarray],
+    ) -> None:
+        """Install precomputed dense matrices (e.g. shared-memory views).
+
+        Rows must be bitwise what :meth:`dense_stack` would build for this
+        block — guaranteed when they are row slices of a parent block over
+        a pool this block's items form a contiguous run of, because every
+        per-item derived vector is a pure function of the item.  A later
+        :meth:`extend` drops the installed views and the block falls back
+        to rebuilding locally, which re-derives the identical floats.
+        """
+        if media_matrix is not None:
+            if media_matrix.shape[0] != len(self._media_positions):
+                raise ValueError("media matrix row count mismatch")
+            self._media_matrix = media_matrix
+        if lift_matrix is not None or lift_norms is not None:
+            if lift_matrix is None or lift_norms is None:
+                raise ValueError("lift matrix and norms must be installed together")
+            if (
+                lift_matrix.shape[0] != len(self._noncompound_positions)
+                or lift_norms.shape[0] != len(self._noncompound_positions)
+            ):
+                raise ValueError("lift matrix row count mismatch")
+            self._lift_matrix = lift_matrix
+            self._lift_norms = lift_norms
+
     # -- scoring ---------------------------------------------------------
     # agora: shard-safe
     def score(

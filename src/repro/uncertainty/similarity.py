@@ -105,8 +105,13 @@ def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
 
 # agora: shard-safe
 def weighted_jaccard(a: Mapping[str, float], b: Mapping[str, float]) -> float:
-    """Weighted Jaccard (Ruzicka) similarity of two weighted bags."""
-    keys = set(a) | set(b)
+    """Weighted Jaccard (Ruzicka) similarity of two weighted bags.
+
+    Accumulates in sorted key order so the result is bitwise identical
+    across processes regardless of string-hash randomization (see
+    :func:`bag_cosine`).
+    """
+    keys = sorted(set(a) | set(b))
     if not keys:
         return 1.0
     minimum = sum(min(a.get(k, 0.0), b.get(k, 0.0)) for k in keys)
@@ -128,10 +133,18 @@ def sublinear_tf(terms: Mapping[str, int]) -> Dict[str, float]:
 
 # agora: shard-safe
 def bag_cosine(a: Mapping[str, float], b: Mapping[str, float]) -> float:
-    """Cosine similarity of two sparse weighted bags, in [0, 1]."""
+    """Cosine similarity of two sparse weighted bags, in [0, 1].
+
+    The dot product accumulates over the shared keys in *sorted* order:
+    set iteration order follows per-process string-hash randomization,
+    and float addition is not associative, so an unsorted reduction can
+    differ in the last ulp between the coordinator and a spawned shard
+    worker.  A canonical order makes the score a pure function of the
+    bags, byte-for-byte, in every process.
+    """
     if not a or not b:
         return 0.0
-    shared = set(a) & set(b)
+    shared = sorted(set(a) & set(b))
     dot = sum(a[k] * b[k] for k in shared)
     norm_a = bag_norm(a)
     norm_b = bag_norm(b)
@@ -157,7 +170,9 @@ def batch_bag_cosine(
     The query-side norm is computed once instead of once per pair;
     ``candidate_norms`` (``bag_norm`` per bag) may be passed to reuse
     cached values.  Element ``i`` is bitwise equal to
-    ``bag_cosine(query_bag, candidate_bags[i])``.
+    ``bag_cosine(query_bag, candidate_bags[i])`` — including the sorted
+    shared-key reduction order that keeps scores hash-seed-independent
+    across processes.
     """
     n = len(candidate_bags)
     scores = np.zeros(n)
@@ -175,7 +190,7 @@ def batch_bag_cosine(
     for i, bag in enumerate(candidate_bags):
         if not bag or norms[i] == 0:
             continue
-        shared = query_keys & set(bag)
+        shared = sorted(query_keys & set(bag))
         dot = sum(query_bag[k] * bag[k] for k in shared)
         scores[i] = float(np.clip(dot / (query_norm * norms[i]), 0.0, 1.0))
     return scores

@@ -1,0 +1,328 @@
+"""Integration tests for the spawn-based shard pool.
+
+Everything here runs real worker processes (spawn context, shared-memory
+block exports), so the suite keeps one module-scoped pool for the happy
+paths and builds throwaway pools only where the scenario consumes them
+(crash degradation).  Bitwise parity with the in-process engine is the
+contract under test; the logic-level property suite lives in
+``test_shard_parity.py``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.data import (
+    CorpusGenerator,
+    DomainSpec,
+    FeatureExtractor,
+    TopicSpace,
+    Vocabulary,
+)
+from repro.obs.aggregate import merge_snapshots, snapshot_shard
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import (
+    ShardPool,
+    ShardSafetyError,
+    ShmArena,
+    attach_segment,
+    leaked_segments,
+)
+from repro.parallel.safety import default_manifest_path
+from repro.sim import RngStreams
+from repro.uncertainty import build_matching_engine
+
+pytestmark = pytest.mark.slow
+
+POOL_SIZE = 30
+
+
+def _build_world():
+    streams = RngStreams(seed=4242).spawn("pool-test")
+    space = TopicSpace(8)
+    vocabulary = Vocabulary(
+        space, streams.spawn("v"), vocabulary_size=400, terms_per_topic=50
+    )
+    corpus = CorpusGenerator(
+        space, vocabulary, streams.spawn("c"), feature_dimensions=16
+    )
+    extractor = FeatureExtractor(16, streams.spawn("f"))
+
+    def spec(name, mix):
+        return DomainSpec(
+            name=name,
+            topic_prior={"folk-jewelry": 0.6, "dance-forms": 0.4},
+            type_mix=mix,
+            concentration=0.4,
+        )
+
+    sample = corpus.generate(
+        spec("sample", {"text": 0.0, "media": 1.0, "compound": 0.0}), 40
+    )
+    engine = build_matching_engine(vocabulary, extractor, lifter_sample=sample)
+    pool_items = corpus.generate(
+        spec("pool", {"text": 0.4, "media": 0.4, "compound": 0.2}), POOL_SIZE
+    )
+    extra = corpus.generate(
+        spec("pool", {"text": 0.5, "media": 0.5, "compound": 0.0}), 8
+    )
+    queries = corpus.generate(
+        spec("query", {"text": 0.5, "media": 0.3, "compound": 0.2}), 4
+    )
+    return engine, pool_items, extra, queries
+
+
+@pytest.fixture(scope="module")
+def world():
+    return _build_world()
+
+
+@pytest.fixture(scope="module")
+def pool(world):
+    engine, items, extra, __ = world
+    shard_pool = ShardPool(engine, n_shards=2, seed=7).start()
+    shard_pool.register("pool", items)
+    shard_pool.register("domain", extra, worker=1)
+    yield shard_pool
+    shard_pool.stop()
+
+
+def _assert_bitwise(actual, expected):
+    assert [i.item_id for i, __ in actual] == [i.item_id for i, __ in expected]
+    assert [s for __, s in actual] == [s for __, s in expected]  # bitwise
+
+
+class TestRankParity:
+    def test_full_rank_matches_in_process(self, pool, world):
+        engine, items, __, queries = world
+        block = engine.prepare(items)
+        for query in queries:
+            _assert_bitwise(
+                pool.rank("pool", query), engine.rank_block(query, block)
+            )
+
+    def test_limited_rank_matches_in_process(self, pool, world):
+        engine, items, __, queries = world
+        block = engine.prepare(items)
+        for limit in (0, 1, 7, POOL_SIZE, POOL_SIZE + 5):
+            _assert_bitwise(
+                pool.rank("pool", queries[0], limit=limit),
+                engine.rank_block(queries[0], block, limit=min(limit, POOL_SIZE)),
+            )
+
+    def test_topk_matches_in_process(self, pool, world):
+        engine, items, __, queries = world
+        block = engine.prepare(items)
+        for query in queries:
+            for k, floor in ((1, 0.0), (5, 0.0), (5, 0.5), (POOL_SIZE, 0.9)):
+                expected, est = engine.rank_block_topk(
+                    query, block, k, limit=POOL_SIZE, score_floor=floor
+                )
+                actual, stats = pool.rank_topk(
+                    "pool", query, k, score_floor=floor
+                )
+                _assert_bitwise(actual, expected)
+                assert stats.candidates_total == est.candidates_total
+
+    def test_zero_limit_topk(self, pool, world):
+        __, __, __, queries = world
+        ranked, stats = pool.rank_topk("pool", queries[0], 5, limit=0)
+        assert ranked == []
+        assert stats.candidates_total == 0
+
+    def test_score_many_matches_in_process(self, pool, world):
+        engine, items, __, queries = world
+        block = engine.prepare(items)
+        expected = block.score(queries[1], limit=POOL_SIZE)
+        actual = pool.score_many("pool", queries[1])
+        assert actual.tolist() == expected.tolist()  # bitwise
+
+    def test_domain_mode_matches_in_process(self, pool, world):
+        engine, __, extra, queries = world
+        block = engine.prepare(extra)
+        expected, __ = engine.rank_block_topk(
+            queries[2], block, 4, limit=len(extra)
+        )
+        actual, __ = pool.rank_topk("domain", queries[2], 4)
+        _assert_bitwise(actual, expected)
+
+    def test_extend_keeps_parity(self, pool, world):
+        engine, items, extra, queries = world
+        pool.register("growing", items[:10])
+        pool.extend("growing", extra[:5])
+        assert pool.pool_size("growing") == 15
+        block = engine.prepare(items[:10] + extra[:5])
+        _assert_bitwise(
+            pool.rank("growing", queries[3]),
+            engine.rank_block(queries[3], block),
+        )
+        merged, __ = pool.rank_topk("growing", queries[3], 6)
+        expected, __ = engine.rank_block_topk(queries[3], block, 6, limit=15)
+        _assert_bitwise(merged, expected)
+
+    def test_reregister_replaces_pool(self, pool, world):
+        engine, items, extra, queries = world
+        pool.register("swap", items[:8])
+        pool.register("swap", extra)  # replaces, old segments retired
+        block = engine.prepare(extra)
+        _assert_bitwise(
+            pool.rank("swap", queries[0]), engine.rank_block(queries[0], block)
+        )
+
+
+class TestLifecycle:
+    def test_unstarted_pool_refuses_requests(self, world):
+        engine, items, __, queries = world
+        idle = ShardPool(engine, n_shards=2)
+        with pytest.raises(RuntimeError, match="not started"):
+            idle.rank("pool", queries[0])
+        with pytest.raises(RuntimeError, match="not started"):
+            idle.register("pool", items)
+
+    def test_engine_pickles_without_metrics(self, world):
+        engine, items, __, queries = world
+        engine.attach_metrics(MetricsRegistry())
+        try:
+            shard_pool = ShardPool(engine, n_shards=1)
+            clone = pickle.loads(shard_pool._pickle_engine())
+        finally:
+            engine.attach_metrics(None)
+        assert clone._metrics is None
+        # The clone scores bitwise like the original.
+        assert clone.score(queries[0], items[0]) == engine.score(
+            queries[0], items[0]
+        )
+
+    def test_stop_unlinks_all_segments(self, world):
+        engine, items, __, queries = world
+        before = set(leaked_segments())  # the module pool's live segments
+        with ShardPool(engine, n_shards=2, seed=11) as throwaway:
+            throwaway.register("pool", items)
+            throwaway.rank("pool", queries[0])
+            assert set(leaked_segments()) > before
+        assert set(leaked_segments()) == before
+
+    def test_invalid_shard_count(self, world):
+        engine, *_ = world
+        with pytest.raises(ValueError):
+            ShardPool(engine, n_shards=0)
+
+    def test_invalid_worker_index(self, pool, world):
+        __, items, *_ = world
+        with pytest.raises(ValueError, match="out of range"):
+            pool.register("bad", items, worker=9)
+
+
+class TestCrashDegradation:
+    def test_crash_falls_back_bitwise_and_degrades_permanently(self, world):
+        engine, items, __, queries = world
+        block = engine.prepare(items)
+        before = set(leaked_segments())  # the module pool's live segments
+        with ShardPool(engine, n_shards=2, seed=23) as crashing:
+            crashing.register("pool", items)
+            # Kill one worker out from under the pool.
+            victim = crashing._workers[0].process
+            victim.terminate()
+            victim.join(timeout=10)
+
+            ranked = crashing.rank("pool", queries[0])
+            _assert_bitwise(ranked, engine.rank_block(queries[0], block))
+            assert crashing.degraded
+            assert crashing.fallbacks == 1
+
+            # Degradation is permanent and deterministic: every later
+            # call takes the in-process path, still bitwise correct.
+            merged, stats = crashing.rank_topk("pool", queries[1], 5)
+            expected, est = engine.rank_block_topk(
+                queries[1], block, 5, limit=POOL_SIZE
+            )
+            _assert_bitwise(merged, expected)
+            assert stats.candidates_scored == est.candidates_scored
+            assert crashing.fallbacks == 2
+            assert crashing.snapshots() == []
+
+            # Registration and ingest still work (coordinator-side only).
+            crashing.register("late", items[:5])
+            crashing.extend("late", items[5:7])
+            assert crashing.pool_size("late") == 7
+        assert set(leaked_segments()) == before
+
+
+class TestTelemetry:
+    def test_worker_snapshots_merge_with_coordinator(self, pool, world):
+        __, __, __, queries = world
+        pool.rank_topk("pool", queries[0], 5, now=2.5)
+        snapshots = pool.snapshots()
+        assert [s.shard_id for s in snapshots] == [1, 2]
+        assert all(s.event_count > 0 for s in snapshots)
+        spans = [span for s in snapshots for span in s.spans]
+        assert any(span.name == "shard-rank" for span in spans)
+        # Span ids are namespaced per shard: no collisions across workers.
+        span_ids = [span.span_id for span in spans]
+        assert len(span_ids) == len(set(span_ids))
+        coordinator = snapshot_shard(0, MetricsRegistry(), sim_time=2.5)
+        merged = merge_snapshots([coordinator] + snapshots)
+        assert merged.shard_ids == [0, 1, 2]
+        assert merged.sim_time == 2.5
+
+
+class TestSafetyGate:
+    def test_tampered_manifest_blocks_construction(self, tmp_path, world):
+        engine, *_ = world
+        manifest = default_manifest_path().read_text()
+        tampered = manifest.replace(
+            '"repro.uncertainty.matching.MatchingEngine.rank_block_topk": "READS_SHARED"',
+            '"repro.uncertainty.matching.MatchingEngine.rank_block_topk": "MUTATES_SHARED"',
+        )
+        assert tampered != manifest  # the entry we expect is present
+        path = tmp_path / "shard_safety.json"
+        path.write_text(tampered)
+        with pytest.raises(ShardSafetyError, match="rank_block_topk"):
+            ShardPool(engine, n_shards=2, manifest_path=path)
+
+    def test_missing_manifest_blocks_construction(self, tmp_path, world):
+        engine, *_ = world
+        with pytest.raises(ShardSafetyError, match="not found"):
+            ShardPool(engine, n_shards=2, manifest_path=tmp_path / "nope.json")
+
+
+class TestShmArena:
+    def test_share_attach_release_roundtrip(self):
+        import numpy as np
+
+        before = set(leaked_segments())
+        arena = ShmArena()
+        spec = arena.share(np.arange(12, dtype=float).reshape(3, 4))
+        assert spec is not None and spec.n_bytes == 96
+        segment = attach_segment(spec.name)
+        view = np.ndarray(spec.shape, dtype="<f8", buffer=segment.buf)
+        assert view.tolist() == np.arange(12, dtype=float).reshape(3, 4).tolist()
+        segment.close()
+        arena.release([spec])
+        assert spec.name not in leaked_segments()
+        arena.close_and_unlink()
+        arena.close_and_unlink()  # idempotent
+        assert set(leaked_segments()) == before
+
+    def test_empty_array_is_not_shared(self):
+        import numpy as np
+
+        arena = ShmArena()
+        assert arena.share(np.zeros((0, 4))) is None
+        arena.close_and_unlink()
+
+    def test_attached_views_are_read_only(self):
+        import numpy as np
+
+        arena = ShmArena()
+        spec = arena.share(np.ones(5))
+        try:
+            from repro.parallel import AttachedArray
+
+            attached = AttachedArray(spec)
+            with pytest.raises(ValueError):
+                attached.array[0] = 2.0
+            attached.close()
+            attached.close()  # idempotent
+        finally:
+            arena.close_and_unlink()

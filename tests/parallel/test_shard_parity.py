@@ -1,0 +1,379 @@
+"""Property tests: sharded rank == single-process rank, *bitwise*.
+
+These run the sharding logic in-process — partials are computed exactly
+the way a worker would (a block over the shard's slice of the pool) but
+without subprocess machinery, so hypothesis can hammer the merge layer
+with adversarial worlds: random shard counts, cloned documents (exact
+duplicate scores competing at the cut), zero-term documents, live-ingest
+extension sequences, and floors placed exactly on achieved scores.  The
+subprocess transport is exercised separately in ``test_pool.py``; the
+parity argument itself (slice invariance + total order + per-shard
+top-k coverage, see ``repro.parallel.merge``) is what is tested here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    CorpusGenerator,
+    DomainSpec,
+    FeatureExtractor,
+    TextDocument,
+    TopicSpace,
+    Vocabulary,
+)
+from repro.parallel import (
+    Placement,
+    ScanCostModel,
+    merge_prune_stats,
+    merge_ranked,
+    merge_scores,
+    partition_domains,
+    single_placement,
+    slice_placements,
+    slice_ranges,
+    stable_worker_for,
+)
+from repro.sim import RngStreams
+from repro.uncertainty import build_matching_engine
+from repro.uncertainty.pruning import PruneStats
+
+pytestmark = pytest.mark.property
+
+POOL_SIZE = 40
+
+
+@pytest.fixture(scope="module")
+def shard_world():
+    """A fixed mixed-type pool, a fitted engine, and probe queries."""
+    streams = RngStreams(seed=909).spawn("shard-parity")
+    space = TopicSpace(8)
+    vocabulary = Vocabulary(
+        space, streams.spawn("v"), vocabulary_size=400, terms_per_topic=50
+    )
+    corpus = CorpusGenerator(
+        space, vocabulary, streams.spawn("c"), feature_dimensions=16
+    )
+    extractor = FeatureExtractor(16, streams.spawn("f"))
+
+    def spec(name, mix):
+        return DomainSpec(
+            name=name,
+            topic_prior={"folk-jewelry": 0.6, "dance-forms": 0.4},
+            type_mix=mix,
+            concentration=0.4,
+        )
+
+    sample = corpus.generate(
+        spec("sample", {"text": 0.0, "media": 1.0, "compound": 0.0}), 40
+    )
+    engine = build_matching_engine(vocabulary, extractor, lifter_sample=sample)
+    pool = corpus.generate(
+        spec("pool", {"text": 0.4, "media": 0.4, "compound": 0.2}), POOL_SIZE
+    )
+    queries = corpus.generate(
+        spec("query", {"text": 0.5, "media": 0.3, "compound": 0.2}), 6
+    )
+    return engine, pool, queries
+
+
+def _clone(doc, index):
+    """Same content under a fresh id — guarantees exact duplicate scores."""
+    return TextDocument(
+        item_id=f"dup-{index}-{doc.item_id}",
+        domain=doc.domain,
+        latent=doc.latent,
+        terms=dict(doc.terms),
+    )
+
+
+def _sharded_topk(engine, items, n_shards, query, k, limit, floor):
+    """What the pool computes: per-slice worker top-k, merged.
+
+    Each slice gets its own freshly prepared block — exactly what a
+    worker holds — and partials carry global positions.
+    """
+    partials = []
+    stats_parts = []
+    for start, stop in slice_ranges(len(items), n_shards):
+        local_limit = min(stop, limit) - start
+        if local_limit <= 0:
+            continue
+        block = engine.prepare(items[start:stop])
+        pairs, stats = engine.rank_block_topk(
+            query, block, k, limit=local_limit, score_floor=floor
+        )
+        pos_by_id = {item.item_id: start + i for i, item in enumerate(items[start:stop])}
+        partials.append([(pos_by_id[item.item_id], s) for item, s in pairs])
+        stats_parts.append(stats)
+    merged = merge_ranked(items, partials, k=k, score_floor=floor)
+    return merged, merge_prune_stats(stats_parts)
+
+
+def _assert_bitwise(actual, expected):
+    assert [i.item_id for i, __ in actual] == [i.item_id for i, __ in expected]
+    assert [s for __, s in actual] == [s for __, s in expected]  # bitwise
+
+
+class TestShardedRankParity:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n_shards=st.integers(min_value=1, max_value=7),
+        clones=st.lists(
+            st.integers(min_value=0, max_value=POOL_SIZE - 1),
+            min_size=0, max_size=5,
+        ),
+        query_index=st.integers(min_value=0, max_value=5),
+        k=st.integers(min_value=1, max_value=12),
+        floor=st.sampled_from([0.0, 0.3, 0.6]),
+    )
+    def test_topk_merge_matches_single_process(
+        self, shard_world, n_shards, clones, query_index, k, floor
+    ):
+        """Merged per-shard top-k == rank_block_topk, ties included."""
+        engine, pool, queries = shard_world
+        items = list(pool) + [
+            _clone(pool[i], j)
+            for j, i in enumerate(clones)
+            if isinstance(pool[i], TextDocument)
+        ]
+        query = queries[query_index]
+        block = engine.prepare(items)
+        expected, __ = engine.rank_block_topk(
+            query, block, k, limit=len(items), score_floor=floor
+        )
+        actual, stats = _sharded_topk(
+            engine, items, n_shards, query, k, len(items), floor
+        )
+        _assert_bitwise(actual, expected)
+        assert stats.candidates_total == len(items)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n_shards=st.integers(min_value=1, max_value=6),
+        limit=st.integers(min_value=0, max_value=POOL_SIZE),
+        query_index=st.integers(min_value=0, max_value=5),
+    )
+    def test_score_concatenation_matches_full_scan(
+        self, shard_world, n_shards, limit, query_index
+    ):
+        """Per-slice score vectors concatenate to the full scan, bitwise."""
+        engine, pool, queries = shard_world
+        query = queries[query_index]
+        block = engine.prepare(pool)
+        expected = block.score(query, limit=limit)
+        parts = []
+        for start, stop in slice_ranges(len(pool), n_shards):
+            stop = min(stop, limit)
+            if stop <= start:
+                continue
+            shard_block = engine.prepare(pool[start:stop])
+            parts.append(shard_block.score(query))
+        merged = merge_scores(parts)
+        assert merged.dtype == np.float64
+        assert merged.tolist() == expected.tolist()  # bitwise
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_shards=st.integers(min_value=1, max_value=5),
+        split=st.integers(min_value=1, max_value=POOL_SIZE - 1),
+        query_index=st.integers(min_value=0, max_value=5),
+        k=st.integers(min_value=1, max_value=10),
+    )
+    def test_live_ingest_extension_keeps_parity(
+        self, shard_world, n_shards, split, query_index, k
+    ):
+        """Extending the tail shard mid-sequence never breaks parity.
+
+        Mirrors the pool's live-ingest protocol: the appended run lands
+        on the final shard (contiguity, not balance), other shards are
+        untouched, and the merged answer must still be bitwise the
+        single-process answer over the grown pool.
+        """
+        engine, pool, queries = shard_world
+        initial, delta = pool[:split], pool[split:]
+        query = queries[query_index]
+
+        ranges = slice_ranges(len(initial), n_shards)
+        blocks = [engine.prepare(initial[start:stop]) for start, stop in ranges]
+        # Queries against the initial slicing, then ingest, then re-query.
+        for grown in (False, True):
+            if grown:
+                blocks[-1].extend(delta)
+                last_start, last_stop = ranges[-1]
+                ranges[-1] = (last_start, last_stop + len(delta))
+            items = initial + delta if grown else initial
+            partials = []
+            for (start, stop), block in zip(ranges, blocks):
+                pairs, __ = engine.rank_block_topk(
+                    query, block, k, limit=stop - start
+                )
+                pos_by_id = {
+                    item.item_id: start + i
+                    for i, item in enumerate(items[start:stop])
+                }
+                partials.append([(pos_by_id[i.item_id], s) for i, s in pairs])
+            expected, __ = engine.rank_block_topk(
+                query, engine.prepare(items), k, limit=len(items)
+            )
+            _assert_bitwise(merge_ranked(items, partials, k=k), expected)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        query_index=st.integers(min_value=0, max_value=5),
+        cut_position=st.integers(min_value=0, max_value=POOL_SIZE - 1),
+        n_shards=st.integers(min_value=2, max_value=5),
+    )
+    def test_floor_exactly_on_achieved_score(
+        self, shard_world, query_index, cut_position, n_shards
+    ):
+        """A floor landing exactly on a score cuts identically when sharded."""
+        engine, pool, queries = shard_world
+        query = queries[query_index]
+        block = engine.prepare(pool)
+        full = engine.rank_block(query, block)
+        floor = full[cut_position][1]
+        k = cut_position + 1
+        expected, __ = engine.rank_block_topk(
+            query, block, k, limit=len(pool), score_floor=floor
+        )
+        actual, __ = _sharded_topk(
+            engine, pool, n_shards, query, k, len(pool), floor
+        )
+        _assert_bitwise(actual, expected)
+
+
+class TestPartitioning:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n_items=st.integers(min_value=0, max_value=500),
+        n_shards=st.integers(min_value=1, max_value=32),
+    )
+    def test_slice_ranges_cover_and_balance(self, n_items, n_shards):
+        ranges = slice_ranges(n_items, n_shards)
+        assert len(ranges) == n_shards
+        cursor = 0
+        widths = []
+        for start, stop in ranges:
+            assert start == cursor and stop >= start
+            widths.append(stop - start)
+            cursor = stop
+        assert cursor == n_items
+        assert max(widths) - min(widths) <= 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        domains=st.lists(st.text(min_size=1, max_size=8), max_size=20),
+        n_shards=st.integers(min_value=1, max_value=8),
+    )
+    def test_partition_domains_is_order_independent(self, domains, n_shards):
+        forward = partition_domains(domains, n_shards)
+        backward = partition_domains(list(reversed(domains)), n_shards)
+        assert forward == backward
+        assert all(0 <= worker < n_shards for worker in forward.values())
+        if forward:
+            counts = [0] * n_shards
+            for worker in forward.values():
+                counts[worker] += 1
+            assert max(counts) - min(counts) <= 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        name=st.text(max_size=16),
+        n_shards=st.integers(min_value=1, max_value=16),
+    )
+    def test_stable_worker_in_range_and_deterministic(self, name, n_shards):
+        worker = stable_worker_for(name, n_shards)
+        assert 0 <= worker < n_shards
+        assert stable_worker_for(name, n_shards) == worker
+
+    def test_placement_validation(self):
+        with pytest.raises(ValueError):
+            Placement(worker=-1, start=0, stop=1)
+        with pytest.raises(ValueError):
+            Placement(worker=0, start=3, stop=2)
+        assert Placement(worker=0, start=2, stop=5).width == 3
+
+    def test_single_placement_covers_pool(self):
+        (placement,) = single_placement(17, worker=3)
+        assert (placement.worker, placement.start, placement.stop) == (3, 0, 17)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_items=st.integers(min_value=0, max_value=200),
+        n_shards=st.integers(min_value=1, max_value=9),
+    )
+    def test_slice_placements_mirror_ranges(self, n_items, n_shards):
+        placements = slice_placements(n_items, n_shards)
+        assert [(p.start, p.stop) for p in placements] == slice_ranges(
+            n_items, n_shards
+        )
+        assert [p.worker for p in placements] == list(range(n_shards))
+
+
+class TestMergeStats:
+    def test_merge_prune_stats_sums_counts(self):
+        merged = merge_prune_stats(
+            [
+                PruneStats(candidates_total=10, candidates_scored=4,
+                           chunks_total=2, chunks_skipped=1),
+                PruneStats(candidates_total=6, candidates_scored=6,
+                           chunks_total=1, chunks_skipped=0, prunable=False),
+            ]
+        )
+        assert merged.candidates_total == 16
+        assert merged.candidates_scored == 10
+        assert merged.chunks_total == 3
+        assert merged.chunks_skipped == 1
+        assert not merged.prunable  # one unprunable shard is enough
+        assert not merged.domain_skipped
+
+    def test_merge_prune_stats_empty_is_identity(self):
+        assert merge_prune_stats([]) == PruneStats()
+
+    def test_merge_scores_empty(self):
+        assert merge_scores([]).shape == (0,)
+
+
+class TestScanCostModel:
+    def test_speedup_meets_bench_gate(self):
+        """The committed CI gate: ≥1.8x at 4 shards over the 400-pool."""
+        assert ScanCostModel().speedup(400, 4) >= 1.8
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=100_000),
+        s=st.integers(min_value=1, max_value=64),
+    )
+    def test_latency_positive_and_single_shard_is_in_process(self, n, s):
+        model = ScanCostModel()
+        assert model.rank_latency(n, s) > 0.0
+        assert model.rank_latency(n, 1) == pytest.approx(
+            model.startup_time + model.per_candidate_time * n
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=2000, max_value=100_000))
+    def test_large_pools_scale_monotonically(self, n):
+        """On large pools, more shards never slow the critical path."""
+        model = ScanCostModel()
+        curve = model.speedup_curve(n, [1, 2, 4, 8])
+        assert curve[1] == pytest.approx(1.0)
+        assert curve[1] <= curve[2] <= curve[4] <= curve[8]
+
+    def test_tiny_pools_report_a_slowdown(self):
+        """The model is honest: sharding a near-empty scan is a loss."""
+        model = ScanCostModel()
+        assert model.speedup(1, 8) < 1.0
+        assert model.speedup(0, 4) < 1.0
+
+    def test_validation(self):
+        model = ScanCostModel()
+        with pytest.raises(ValueError):
+            model.rank_latency(-1, 2)
+        with pytest.raises(ValueError):
+            model.rank_latency(10, 0)
+        with pytest.raises(ValueError):
+            ScanCostModel(startup_time=-0.1)
